@@ -1,0 +1,54 @@
+// Ablation (design choice behind Fig. 14): rank-to-node mapping.
+// Section 4.4 uses a *contiguous* mapping, which aligns the torus's X
+// dimension with intra-router neighborhoods (X exchanges never leave the
+// router) and lets adaptive routing exploit the topology's structure.
+// A random placement destroys that alignment: X traffic enters the
+// network and the MLFM's near-100% adaptive result degrades toward the
+// INR level.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "sim/exchange.h"
+
+using namespace d2net;
+using namespace d2net::bench;
+
+int main(int argc, char** argv) {
+  Cli cli("Ablation: contiguous vs random rank mapping for the NN exchange");
+  add_standard_flags(cli);
+  cli.flag("bytes-per-neighbor", std::int64_t{32768}, "message size per neighbor");
+  if (!cli.parse(argc, argv)) return 0;
+  const BenchOptions opts = read_standard_flags(cli);
+  const std::int64_t bytes = cli.get_int("bytes-per-neighbor");
+
+  SimConfig cfg;
+  cfg.seed = opts.seed;
+
+  std::printf("== NN exchange: contiguous vs random mapping (effective throughput) ==\n");
+  Table t({"system", "routing", "contiguous", "random"});
+  for (const auto& sys : paper_systems(opts.full)) {
+    if (sys.label == "SF p=cl") continue;
+    const auto dims = paper_torus_dims(sys.topo);
+    const ExchangePlan contiguous =
+        make_nearest_neighbor_plan(sys.topo.num_nodes(), dims, bytes);
+    Rng rng(opts.seed);
+    const auto map =
+        random_rank_mapping(sys.topo.num_nodes(), dims[0] * dims[1] * dims[2], rng);
+    const ExchangePlan random_plan =
+        make_nearest_neighbor_plan(sys.topo.num_nodes(), dims, bytes, map);
+    for (RoutingStrategy s : {RoutingStrategy::kMinimal, RoutingStrategy::kUgalThreshold}) {
+      SimStack a(sys.topo, s, cfg);
+      const ExchangeResult ra = a.run_exchange(contiguous, us(20'000'000));
+      SimStack b(sys.topo, s, cfg);
+      const ExchangeResult rb = b.run_exchange(random_plan, us(20'000'000));
+      t.add(sys.label, to_string(s), ra.completed ? fmt(ra.effective_throughput, 3) : "t/o",
+            rb.completed ? fmt(rb.effective_throughput, 3) : "t/o");
+    }
+  }
+  t.print(std::cout);
+  if (opts.csv) t.print_csv(std::cout);
+  return 0;
+}

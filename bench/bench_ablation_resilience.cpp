@@ -1,0 +1,53 @@
+// Ablation (beyond the paper): resilience of the diameter-two designs to
+// random link failures. Low-diameter networks buy scale with minimal path
+// diversity, so failures both stretch the endpoint diameter and erode
+// uniform throughput; adaptive routing recovers part of the loss.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "topology/degrade.h"
+#include "topology/properties.h"
+
+using namespace d2net;
+using namespace d2net::bench;
+
+int main(int argc, char** argv) {
+  Cli cli("Ablation: random link failures vs diameter and uniform throughput");
+  add_standard_flags(cli);
+  cli.flag("load", 0.9, "offered uniform load");
+  if (!cli.parse(argc, argv)) return 0;
+  const BenchOptions opts = read_standard_flags(cli);
+  const double load = cli.get_double("load");
+
+  SimConfig cfg;
+  cfg.seed = opts.seed;
+
+  std::printf("== random link failures: endpoint diameter and accepted uniform load ==\n");
+  Table t({"system", "failed links", "fail %", "endpoint diam", "MIN accepted",
+           "UGAL-Th accepted"});
+  for (const auto& sys : paper_systems(opts.full)) {
+    if (sys.label == "SF p=cl") continue;  // one SF flavor suffices here
+    for (double frac : {0.0, 0.02, 0.05, 0.10}) {
+      Rng rng(opts.seed + static_cast<std::uint64_t>(frac * 1000));
+      const int count = static_cast<int>(frac * sys.topo.num_links());
+      const DegradeResult deg = remove_random_links(sys.topo, count, rng);
+      const DistanceMatrix dist = all_pairs_distances(deg.topo);
+      const int diam = node_diameter(deg.topo, dist);
+      const UniformTraffic uni(deg.topo.num_nodes());
+      SimStack min_stack(deg.topo, RoutingStrategy::kMinimal, cfg);
+      const OpenLoopResult min_r =
+          min_stack.run_open_loop(uni, load, opts.duration, opts.warmup);
+      SimStack ugal_stack(deg.topo, RoutingStrategy::kUgalThreshold, cfg);
+      const OpenLoopResult ugal_r =
+          ugal_stack.run_open_loop(uni, load, opts.duration, opts.warmup);
+      t.add(sys.label, static_cast<std::int64_t>(deg.removed.size()), fmt(frac * 100, 0),
+            diam, fmt(min_r.accepted_throughput, 3), fmt(ugal_r.accepted_throughput, 3));
+    }
+  }
+  t.print(std::cout);
+  if (opts.csv) t.print_csv(std::cout);
+  return 0;
+}

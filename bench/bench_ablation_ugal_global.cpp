@@ -1,0 +1,55 @@
+// Ablation (extension of Section 3.3): how much performance does local
+// UGAL leave on the table versus the impractical global variant? The paper
+// only evaluates UGAL-L; UGAL-G with instantaneous knowledge of every queue
+// along each candidate path is the oracle upper bound.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "sim/traffic.h"
+
+using namespace d2net;
+using namespace d2net::bench;
+
+int main(int argc, char** argv) {
+  Cli cli("Ablation: UGAL-L vs UGAL-G (global oracle) under UNI and WC traffic");
+  add_standard_flags(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  const BenchOptions opts = read_standard_flags(cli);
+
+  SimConfig cfg;
+  cfg.seed = opts.seed;
+
+  std::printf("== UGAL-L vs UGAL-G: accepted throughput / mean latency ==\n");
+  Table t({"system", "pattern", "load", "UGAL-L thr", "UGAL-L lat", "UGAL-G thr",
+           "UGAL-G lat"});
+  for (const auto& sys : paper_systems(opts.full)) {
+    if (sys.label == "SF p=cl") continue;
+    const MinimalTable table(sys.topo);
+    Rng rng(opts.seed);
+    const auto wc = make_worst_case(sys.topo, table, rng);
+    const UniformTraffic uni(sys.topo.num_nodes());
+    struct Case {
+      const TrafficPattern* pattern;
+      const char* label;
+      double load;
+    };
+    const Case cases[] = {{&uni, "UNI", 0.9}, {wc.get(), "WC", 0.45}};
+    for (const Case& c : cases) {
+      SimStack local(sys.topo, RoutingStrategy::kUgal, cfg);
+      const OpenLoopResult rl = local.run_open_loop(*c.pattern, c.load, opts.duration,
+                                                    opts.warmup);
+      SimStack global(sys.topo, RoutingStrategy::kUgalGlobal, cfg);
+      const OpenLoopResult rg = global.run_open_loop(*c.pattern, c.load, opts.duration,
+                                                     opts.warmup);
+      t.add(sys.label, c.label, fmt(c.load, 2), fmt(rl.accepted_throughput, 3),
+            fmt(rl.avg_latency_ns, 0), fmt(rg.accepted_throughput, 3),
+            fmt(rg.avg_latency_ns, 0));
+    }
+  }
+  t.print(std::cout);
+  if (opts.csv) t.print_csv(std::cout);
+  return 0;
+}

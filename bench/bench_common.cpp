@@ -1,0 +1,145 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <iostream>
+
+#include "topology/mlfm.h"
+#include "topology/oft.h"
+#include "topology/slim_fly.h"
+
+namespace d2net::bench {
+
+void add_standard_flags(Cli& cli) {
+  cli.flag("full", false, "run the paper-exact configurations (q=13/h=15/k=12; slow)")
+      .flag("duration-us", 16.0, "simulated time per load point, microseconds")
+      .flag("warmup-us", 4.0, "statistics warm-up, microseconds")
+      .flag("seed", std::int64_t{1}, "simulation seed")
+      .flag("csv", false, "also print CSV after each table");
+}
+
+BenchOptions read_standard_flags(const Cli& cli) {
+  BenchOptions opts;
+  opts.full = cli.get_bool("full");
+  opts.duration = us(cli.get_double("duration-us"));
+  opts.warmup = us(cli.get_double("warmup-us"));
+  opts.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  opts.csv = cli.get_bool("csv");
+  if (opts.full) {
+    // The paper simulates 200 us with a 20 us warm-up; scale up unless the
+    // user overrode the defaults.
+    if (opts.duration == us(16.0)) opts.duration = us(50.0);
+    if (opts.warmup == us(4.0)) opts.warmup = us(10.0);
+  }
+  return opts;
+}
+
+Topology paper_slim_fly(bool full, bool ceil_p) {
+  return build_slim_fly(full ? 13 : 7, ceil_p ? SlimFlyP::kCeil : SlimFlyP::kFloor);
+}
+Topology paper_mlfm(bool full) { return build_mlfm(full ? 15 : 7); }
+Topology paper_oft(bool full) { return build_oft(full ? 12 : 6); }
+
+std::vector<SystemConfig> paper_systems(bool full) {
+  std::vector<SystemConfig> out;
+  out.push_back({"SF p=fl", paper_slim_fly(full, false)});
+  out.push_back({"SF p=cl", paper_slim_fly(full, true)});
+  out.push_back({"MLFM", paper_mlfm(full)});
+  out.push_back({"OFT", paper_oft(full)});
+  return out;
+}
+
+void print_sweep_table(const std::string& title,
+                       const std::vector<std::string>& series_labels,
+                       const std::vector<double>& loads,
+                       const std::vector<std::vector<SweepPoint>>& series, bool csv) {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::vector<std::string> header{"load"};
+  for (const auto& l : series_labels) {
+    header.push_back(l + " thr");
+    header.push_back(l + " lat(ns)");
+  }
+  Table t(header);
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    std::vector<std::string> row{fmt(loads[i], 2)};
+    for (const auto& s : series) {
+      row.push_back(fmt(s[i].result.accepted_throughput, 3));
+      row.push_back(fmt(s[i].result.avg_latency_ns, 0));
+    }
+    t.add_row(std::move(row));
+  }
+  t.print(std::cout);
+  if (csv) t.print_csv(std::cout);
+  // Saturation summary line.
+  std::printf("saturation:");
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    std::printf("  %s=%.3f", series_labels[s].c_str(), saturation_point(series[s]));
+  }
+  std::printf("\n");
+}
+
+std::vector<double> bench_uniform_loads() {
+  return {0.1, 0.3, 0.5, 0.7, 0.8, 0.9, 0.95, 1.0};
+}
+
+std::vector<double> bench_adversarial_loads() {
+  return {0.02, 0.05, 0.08, 0.1, 0.15, 0.2, 0.3, 0.5, 0.75, 1.0};
+}
+
+void run_adaptive_figure(const Topology& topo, const AdaptiveFigureSpec& spec,
+                         const BenchOptions& opts) {
+  SimConfig cfg;
+  cfg.seed = opts.seed;
+  const MinimalTable table(topo);  // only for the WC pattern construction
+  Rng rng(opts.seed);
+  const auto wc = make_worst_case(topo, table, rng);
+  const UniformTraffic uni(topo.num_nodes());
+  const bool threshold = spec.strategy == RoutingStrategy::kUgalThreshold;
+
+  auto run_variant = [&](const UgalParams& params, const TrafficPattern& pattern,
+                         const std::vector<double>& loads) {
+    SimStack stack(topo, spec.strategy, cfg, params);
+    return run_load_sweep(stack, pattern, loads, opts.duration, opts.warmup);
+  };
+
+  auto panel = [&](const std::string& subtitle, auto make_params,
+                   const std::vector<std::string>& labels) {
+    for (const auto* pat : {static_cast<const TrafficPattern*>(&uni),
+                            static_cast<const TrafficPattern*>(wc.get())}) {
+      const bool is_uni = pat == &uni;
+      const auto& loads = is_uni ? bench_uniform_loads() : bench_adversarial_loads();
+      std::vector<std::vector<SweepPoint>> series;
+      for (std::size_t v = 0; v < labels.size(); ++v) {
+        series.push_back(run_variant(make_params(v), *pat, loads));
+      }
+      print_sweep_table(spec.title + " — " + subtitle + (is_uni ? " — UNI" : " — WC"), labels,
+                        loads, series, opts.csv);
+    }
+  };
+
+  {
+    std::vector<std::string> labels;
+    for (int ni : spec.ni_values) labels.push_back("nI=" + std::to_string(ni));
+    panel("vary nI (c=" + fmt(spec.fixed_c, 2) + ")",
+          [&](std::size_t v) {
+            UgalParams p = default_ugal_params(topo.kind(), threshold);
+            p.num_indirect = spec.ni_values[v];
+            p.c = spec.fixed_c;
+            return p;
+          },
+          labels);
+  }
+  {
+    std::vector<std::string> labels;
+    for (double c : spec.c_values) labels.push_back("c=" + fmt(c, 2));
+    panel("vary c (nI=" + std::to_string(spec.fixed_ni) + ")",
+          [&](std::size_t v) {
+            UgalParams p = default_ugal_params(topo.kind(), threshold);
+            p.num_indirect = spec.fixed_ni;
+            p.c = spec.c_values[v];
+            return p;
+          },
+          labels);
+  }
+}
+
+}  // namespace d2net::bench

@@ -1,0 +1,77 @@
+// Shared plumbing for the per-figure bench binaries: standard flags, the
+// paper's four topology configurations (scaled-down defaults + --full for
+// the exact Section 4.1 systems), and sweep table printing.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/table.h"
+#include "sim/experiment.h"
+#include "topology/topology.h"
+
+namespace d2net::bench {
+
+/// Run-scale parameters shared by all simulation benches.
+struct BenchOptions {
+  bool full = false;         ///< paper-exact configurations (much slower)
+  TimePs duration = 0;       ///< per-point simulated time
+  TimePs warmup = 0;
+  std::uint64_t seed = 1;
+  bool csv = false;          ///< additionally dump CSV after each table
+};
+
+/// Registers the standard flags on a Cli.
+void add_standard_flags(Cli& cli);
+
+/// Reads them back after parsing.
+BenchOptions read_standard_flags(const Cli& cli);
+
+/// One of the paper's four evaluated systems (Section 4.1).
+struct SystemConfig {
+  std::string label;  ///< e.g. "SF p=floor", "MLFM", "OFT"
+  Topology topo;
+};
+
+/// The four evaluated configurations. Default scale: SF q=7 (p=5 and 6),
+/// MLFM h=7, OFT k=6 (N ~ 370-590). --full: SF q=13 (p=9/10), MLFM h=15,
+/// OFT k=12 (N ~ 3042-3600, the CORAL-Summit-like systems of the paper).
+std::vector<SystemConfig> paper_systems(bool full);
+
+/// Individual builders (used by the adaptive-routing figures).
+Topology paper_slim_fly(bool full, bool ceil_p);
+Topology paper_mlfm(bool full);
+Topology paper_oft(bool full);
+
+/// Prints a sweep as the paper's two panels: throughput and mean delay vs
+/// offered load, one row per load, one series per label.
+void print_sweep_table(const std::string& title,
+                       const std::vector<std::string>& series_labels,
+                       const std::vector<double>& loads,
+                       const std::vector<std::vector<SweepPoint>>& series, bool csv);
+
+/// Default offered-load grids for the bench binaries (coarser than the
+/// library's, sized for a single-core host).
+std::vector<double> bench_uniform_loads();
+std::vector<double> bench_adversarial_loads();
+
+/// Spec for the adaptive-routing figures (Figs. 7-12): two panels, (a)
+/// varying nI at a fixed cost penalty and (b) varying the penalty at a
+/// fixed nI, each under uniform random (UNI) and worst-case (WC) traffic.
+struct AdaptiveFigureSpec {
+  std::string title;
+  RoutingStrategy strategy = RoutingStrategy::kUgal;  ///< kUgal or kUgalThreshold
+  std::vector<int> ni_values;
+  double fixed_c = 2.0;
+  std::vector<double> c_values;
+  int fixed_ni = 4;
+};
+
+/// Runs and prints one adaptive figure for the given topology.
+void run_adaptive_figure(const Topology& topo, const AdaptiveFigureSpec& spec,
+                         const BenchOptions& opts);
+
+}  // namespace d2net::bench

@@ -1,0 +1,65 @@
+// Extension (beyond the paper's evaluation): the same uniform-traffic and
+// all-to-all workloads run on the deployed-alternative baselines the
+// paper's introduction argues against — 2-D HyperX, Dragonfly, two-level
+// Fat-Tree — side by side with the three diameter-two designs, at roughly
+// matched endpoint counts. Cost columns make the price of each design
+// visible next to its performance.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "sim/exchange.h"
+#include "topology/dragonfly.h"
+#include "topology/fat_tree.h"
+#include "topology/hyperx.h"
+
+using namespace d2net;
+using namespace d2net::bench;
+
+int main(int argc, char** argv) {
+  Cli cli("Extension: diameter-two designs vs HyperX / Dragonfly / FT2 baselines");
+  add_standard_flags(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  const BenchOptions opts = read_standard_flags(cli);
+
+  SimConfig cfg;
+  cfg.seed = opts.seed;
+
+  // Matched-scale baselines for the default trio (N ~ 370-590):
+  // HyperX 11x11 p=4 (484), Dragonfly p=3 (342), FT2 r=30 (450).
+  std::vector<SystemConfig> systems = paper_systems(opts.full);
+  if (opts.full) {
+    systems.push_back({"HyperX", build_hyperx2d(17, 17, 11)});     // 3179
+    systems.push_back({"Dragonfly", build_dragonfly(12, 6, 6)});   // 5256 (closest balanced)
+    systems.push_back({"FT2", build_fat_tree2(78)});               // 3042
+  } else {
+    systems.push_back({"HyperX", build_hyperx2d(11, 11, 4)});
+    systems.push_back({"Dragonfly", build_dragonfly_balanced(11)});
+    systems.push_back({"FT2", build_fat_tree2(30)});
+  }
+
+  std::printf("== baselines vs diameter-two designs: uniform + all-to-all ==\n");
+  Table t({"system", "N", "ports/N", "links/N", "UNI acc @1.0", "UNI lat(ns) @0.7",
+           "A2A eff (MIN)"});
+  for (const auto& sys : systems) {
+    if (sys.label == "SF p=cl") continue;
+    UniformTraffic uni(sys.topo.num_nodes());
+    SimStack stack(sys.topo, RoutingStrategy::kMinimal, cfg);
+    const OpenLoopResult full_load =
+        stack.run_open_loop(uni, 1.0, opts.duration, opts.warmup);
+    const OpenLoopResult mid_load =
+        stack.run_open_loop(uni, 0.7, opts.duration, opts.warmup);
+    const ExchangePlan plan =
+        make_all_to_all_plan(sys.topo.num_nodes(), 3840, A2aOrder::kShuffled, opts.seed);
+    SimStack a2a_stack(sys.topo, RoutingStrategy::kMinimal, cfg);
+    const ExchangeResult a2a = a2a_stack.run_exchange(plan, us(5'000'000));
+    t.add(sys.label, sys.topo.num_nodes(), fmt(sys.topo.ports_per_node(), 2),
+          fmt(sys.topo.links_per_node(), 2), fmt(full_load.accepted_throughput, 3),
+          fmt(mid_load.avg_latency_ns, 0),
+          a2a.completed ? fmt(a2a.effective_throughput, 3) : "t/o");
+  }
+  t.print(std::cout);
+  if (opts.csv) t.print_csv(std::cout);
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Fig. 10: OFT-A (generic UGAL-L) on the two-level OFT: (a) varying nI
+// with c = 2, (b) varying c with nI = 1. The paper finds the OFT prefers a
+// *constricted* indirect-path selection (low nI, high c) on uniform
+// traffic, while the worst case is largely parameter-independent.
+#include "bench_common.h"
+
+using namespace d2net;
+using namespace d2net::bench;
+
+int main(int argc, char** argv) {
+  Cli cli("Fig. 10: OFT-A adaptive routing parameter sweeps");
+  add_standard_flags(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  const BenchOptions opts = read_standard_flags(cli);
+
+  AdaptiveFigureSpec spec;
+  spec.title = "Fig. 10 OFT-A";
+  spec.strategy = RoutingStrategy::kUgal;
+  spec.ni_values = {1, 5, 10};
+  spec.fixed_c = 2.0;
+  spec.c_values = {0.5, 2.0, 8.0};
+  spec.fixed_ni = 1;
+  run_adaptive_figure(paper_oft(opts.full), spec, opts);
+  return 0;
+}

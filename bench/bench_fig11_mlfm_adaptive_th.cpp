@@ -1,0 +1,23 @@
+// Fig. 11: MLFM-ATh — MLFM-A with a 10% minimal-routing threshold, same
+// sweeps as Fig. 9.
+#include "bench_common.h"
+
+using namespace d2net;
+using namespace d2net::bench;
+
+int main(int argc, char** argv) {
+  Cli cli("Fig. 11: MLFM-ATh adaptive routing with threshold (T = 10%)");
+  add_standard_flags(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  const BenchOptions opts = read_standard_flags(cli);
+
+  AdaptiveFigureSpec spec;
+  spec.title = "Fig. 11 MLFM-ATh";
+  spec.strategy = RoutingStrategy::kUgalThreshold;
+  spec.ni_values = {1, 5, 10};
+  spec.fixed_c = 2.0;
+  spec.c_values = {0.5, 2.0, 8.0};
+  spec.fixed_ni = 5;
+  run_adaptive_figure(paper_mlfm(opts.full), spec, opts);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Fig. 14: effective throughput of one nearest-neighbor exchange on the
+// largest 3-D torus embedded in each topology, with contiguous rank
+// mapping (paper Section 4.4).
+//
+// Paper shape: MIN performs poorly (few routes carry everything), INR
+// reaches ~70% (X dimension stays intra-router at 100%, Y/Z at INR's 50%),
+// adaptive >= INR with ~100% on the MLFM and no gain on the OFT.
+// The paper sends 512 KB per neighbor pair; the scaled default sends
+// 64 KB to keep single-core runtimes reasonable (shape-preserving: the
+// exchange is bandwidth-dominated either way).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "sim/exchange.h"
+
+using namespace d2net;
+using namespace d2net::bench;
+
+int main(int argc, char** argv) {
+  Cli cli("Fig. 14: nearest-neighbor exchange effective throughput");
+  add_standard_flags(cli);
+  cli.flag("bytes-per-neighbor", std::int64_t{65536},
+           "message size per neighbor (paper: 524288)");
+  if (!cli.parse(argc, argv)) return 0;
+  const BenchOptions opts = read_standard_flags(cli);
+  std::int64_t bytes = cli.get_int("bytes-per-neighbor");
+  if (opts.full && bytes == 65536) bytes = 524288;  // paper size at paper scale
+
+  SimConfig cfg;
+  cfg.seed = opts.seed;
+
+  std::printf("== Fig. 14: effective throughput, one nearest-neighbor exchange ==\n");
+  Table t({"system", "torus", "routing", "eff. throughput", "completion (us)"});
+  for (const auto& sys : paper_systems(opts.full)) {
+    // Section 4.4 embeds the structure-aligned torus (15x16x15 on the
+    // h=15 MLFM etc.); the alignment is what adaptive routing exploits.
+    const auto dims = paper_torus_dims(sys.topo);
+    const std::string torus = std::to_string(dims[0]) + "x" + std::to_string(dims[1]) + "x" +
+                              std::to_string(dims[2]);
+    const ExchangePlan plan = make_nearest_neighbor_plan(sys.topo.num_nodes(), dims, bytes);
+    for (RoutingStrategy s : {RoutingStrategy::kMinimal, RoutingStrategy::kValiant,
+                              RoutingStrategy::kUgalThreshold}) {
+      SimStack stack(sys.topo, s, cfg);
+      const ExchangeResult r = stack.run_exchange(plan, us(20'000'000));
+      t.add(sys.label, torus, to_string(s),
+            r.completed ? fmt(r.effective_throughput, 3) : "timeout", fmt(r.completion_us, 1));
+    }
+  }
+  t.print(std::cout);
+  if (opts.csv) t.print_csv(std::cout);
+  return 0;
+}

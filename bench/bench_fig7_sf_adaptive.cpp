@@ -1,0 +1,24 @@
+// Fig. 7: SF-A (generic UGAL-L with the original length-scaled cost) on the
+// Slim Fly with p = floor(r'/2): (a) varying nI with cSF = 1, (b) varying
+// cSF with nI = 4, under uniform and worst-case traffic.
+#include "bench_common.h"
+
+using namespace d2net;
+using namespace d2net::bench;
+
+int main(int argc, char** argv) {
+  Cli cli("Fig. 7: SF-A adaptive routing parameter sweeps");
+  add_standard_flags(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  const BenchOptions opts = read_standard_flags(cli);
+
+  AdaptiveFigureSpec spec;
+  spec.title = "Fig. 7 SF-A";
+  spec.strategy = RoutingStrategy::kUgal;
+  spec.ni_values = {1, 4, 8};
+  spec.fixed_c = 1.0;  // cSF = 1
+  spec.c_values = {0.25, 1.0, 4.0};
+  spec.fixed_ni = 4;
+  run_adaptive_figure(paper_slim_fly(opts.full, /*ceil_p=*/false), spec, opts);
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Fig. 8: SF-ATh — SF-A with a 10% minimal-routing threshold, same sweeps
+// as Fig. 7. The threshold removes the generic-UGAL latency bump on
+// uniform traffic at the price of higher low-load worst-case latency.
+#include "bench_common.h"
+
+using namespace d2net;
+using namespace d2net::bench;
+
+int main(int argc, char** argv) {
+  Cli cli("Fig. 8: SF-ATh adaptive routing with threshold (T = 10%)");
+  add_standard_flags(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  const BenchOptions opts = read_standard_flags(cli);
+
+  AdaptiveFigureSpec spec;
+  spec.title = "Fig. 8 SF-ATh";
+  spec.strategy = RoutingStrategy::kUgalThreshold;
+  spec.ni_values = {1, 4, 8};
+  spec.fixed_c = 1.0;
+  spec.c_values = {0.25, 1.0, 4.0};
+  spec.fixed_ni = 4;
+  run_adaptive_figure(paper_slim_fly(opts.full, /*ceil_p=*/false), spec, opts);
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Fig. 9: MLFM-A (generic UGAL-L, constant cost penalty) on the MLFM:
+// (a) varying nI with c = 2, (b) varying c with nI = 5.
+#include "bench_common.h"
+
+using namespace d2net;
+using namespace d2net::bench;
+
+int main(int argc, char** argv) {
+  Cli cli("Fig. 9: MLFM-A adaptive routing parameter sweeps");
+  add_standard_flags(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  const BenchOptions opts = read_standard_flags(cli);
+
+  AdaptiveFigureSpec spec;
+  spec.title = "Fig. 9 MLFM-A";
+  spec.strategy = RoutingStrategy::kUgal;
+  spec.ni_values = {1, 5, 10};
+  spec.fixed_c = 2.0;
+  spec.c_values = {0.5, 2.0, 8.0};
+  spec.fixed_ni = 5;
+  run_adaptive_figure(paper_mlfm(opts.full), spec, opts);
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Engine micro-benchmarks (google-benchmark): the hot paths behind the
+// figure reproductions — GF arithmetic, topology construction, BFS tables,
+// route decisions, the partitioner, and raw event-queue throughput.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "gf/galois_field.h"
+#include "partition/bisection_bandwidth.h"
+#include "routing/factory.h"
+#include "routing/minimal_table.h"
+#include "sim/event_queue.h"
+#include "sim/experiment.h"
+#include "topology/mlfm.h"
+#include "topology/oft.h"
+#include "topology/slim_fly.h"
+
+namespace d2net {
+namespace {
+
+void BM_GaloisFieldMul(benchmark::State& state) {
+  GaloisField gf(static_cast<int>(state.range(0)));
+  Rng rng(1);
+  const int q = gf.order();
+  for (auto _ : state) {
+    const int a = 1 + static_cast<int>(rng.next_below(q - 1));
+    const int b = 1 + static_cast<int>(rng.next_below(q - 1));
+    benchmark::DoNotOptimize(gf.mul(a, b));
+  }
+}
+BENCHMARK(BM_GaloisFieldMul)->Arg(13)->Arg(25);
+
+void BM_BuildSlimFly(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_slim_fly(static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_BuildSlimFly)->Arg(7)->Arg(13);
+
+void BM_BuildOft(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_oft(static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_BuildOft)->Arg(6)->Arg(12);
+
+void BM_MinimalTable(benchmark::State& state) {
+  const Topology topo = build_slim_fly(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    MinimalTable table(topo);
+    benchmark::DoNotOptimize(table.distance(0, 1));
+  }
+}
+BENCHMARK(BM_MinimalTable)->Arg(7)->Arg(13);
+
+void BM_RouteDecisionMinimal(benchmark::State& state) {
+  const Topology topo = build_slim_fly(7);
+  const MinimalTable table(topo);
+  ZeroLoadProvider loads;
+  const auto algo = make_routing(topo, table, RoutingStrategy::kMinimal, loads);
+  Rng rng(1);
+  const int n = topo.num_routers();
+  for (auto _ : state) {
+    const int a = static_cast<int>(rng.next_below(n));
+    int b = static_cast<int>(rng.next_below(n));
+    if (b == a) b = (b + 1) % n;
+    benchmark::DoNotOptimize(algo->route(a, b, rng));
+  }
+}
+BENCHMARK(BM_RouteDecisionMinimal);
+
+void BM_RouteDecisionUgal(benchmark::State& state) {
+  const Topology topo = build_slim_fly(7);
+  const MinimalTable table(topo);
+  ZeroLoadProvider loads;
+  const auto algo = make_routing(topo, table, RoutingStrategy::kUgal, loads);
+  Rng rng(1);
+  const int n = topo.num_routers();
+  for (auto _ : state) {
+    const int a = static_cast<int>(rng.next_below(n));
+    int b = static_cast<int>(rng.next_below(n));
+    if (b == a) b = (b + 1) % n;
+    benchmark::DoNotOptimize(algo->route(a, b, rng));
+  }
+}
+BENCHMARK(BM_RouteDecisionUgal);
+
+void BM_EventQueue(benchmark::State& state) {
+  for (auto _ : state) {
+    EventQueue q;
+    Rng rng(1);
+    for (int i = 0; i < 4096; ++i) {
+      q.push(static_cast<TimePs>(rng.next_below(1 << 20)), EventType::kNicFree, i);
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+  }
+}
+BENCHMARK(BM_EventQueue);
+
+void BM_Bisection(benchmark::State& state) {
+  const Topology topo = build_mlfm(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(approximate_bisection_bandwidth(topo, 2));
+  }
+}
+BENCHMARK(BM_Bisection);
+
+void BM_SimulateUniformLoad(benchmark::State& state) {
+  const Topology topo = build_oft(4);
+  SimConfig cfg;
+  for (auto _ : state) {
+    SimStack stack(topo, RoutingStrategy::kMinimal, cfg);
+    UniformTraffic uni(topo.num_nodes());
+    benchmark::DoNotOptimize(stack.run_open_loop(uni, 0.5, us(4), us(1)));
+  }
+}
+BENCHMARK(BM_SimulateUniformLoad)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace d2net
+
+BENCHMARK_MAIN();

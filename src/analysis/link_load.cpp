@@ -1,0 +1,150 @@
+#include "analysis/link_load.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.h"
+#include "routing/minimal_table.h"
+#include "topology/topology.h"
+
+namespace d2net {
+namespace {
+
+/// Dense directed-channel indexing: channel (u -> neighbors(u)[i]) has id
+/// base[u] + i.
+struct ChannelIndex {
+  explicit ChannelIndex(const Topology& topo) : topo_(&topo) {
+    base.resize(topo.num_routers() + 1, 0);
+    for (int r = 0; r < topo.num_routers(); ++r) {
+      base[r + 1] = base[r] + topo.network_degree(r);
+    }
+  }
+
+  int id(int u, int v) const {
+    const auto& nbrs = topo_->neighbors(u);
+    for (int i = 0; i < static_cast<int>(nbrs.size()); ++i) {
+      if (nbrs[i] == v) return base[u] + i;
+    }
+    D2NET_ASSERT(false, "channel lookup failed");
+    return -1;
+  }
+
+  int count() const { return base.back(); }
+
+  const Topology* topo_;
+  std::vector<int> base;
+};
+
+/// Adds `weight` units of flow from s to d, splitting uniformly over the
+/// shortest-path DAG (how MinimalRouting samples next hops). Paths in the
+/// studied networks are <= 2 hops with tiny diversity, so the recursive
+/// walk is cheap.
+void propagate_minimal(const Topology& topo, const MinimalTable& table,
+                       const ChannelIndex& channels, int s, int d, double weight,
+                       std::vector<double>& loads) {
+  if (s == d || weight == 0.0) return;
+  const auto nh = table.next_hops(s, d);
+  const double share = weight / static_cast<double>(nh.size());
+  for (int h : nh) {
+    loads[channels.id(s, h)] += share;
+    propagate_minimal(topo, table, channels, h, d, share, loads);
+  }
+}
+
+/// Router-level traffic matrix from a node permutation: weight(s, d) =
+/// number of node pairs routed s -> d (each node injects one unit).
+std::vector<std::pair<std::pair<int, int>, double>> router_pairs(
+    const Topology& topo, const std::vector<int>& dest_of) {
+  D2NET_REQUIRE(static_cast<int>(dest_of.size()) == topo.num_nodes(),
+                "permutation arity mismatch");
+  std::vector<std::pair<std::pair<int, int>, double>> out;
+  std::map<std::pair<int, int>, double> acc;
+  for (int n = 0; n < topo.num_nodes(); ++n) {
+    const int s = topo.router_of_node(n);
+    const int d = topo.router_of_node(dest_of[n]);
+    if (s != d) acc[{s, d}] += 1.0;
+  }
+  out.assign(acc.begin(), acc.end());
+  return out;
+}
+
+LinkLoadReport finalize(std::vector<double> loads) {
+  LinkLoadReport rep;
+  rep.loads = std::move(loads);
+  double sum = 0.0;
+  for (double l : rep.loads) {
+    rep.max_load = std::max(rep.max_load, l);
+    sum += l;
+  }
+  rep.mean_load = rep.loads.empty() ? 0.0 : sum / static_cast<double>(rep.loads.size());
+  rep.throughput_bound = rep.max_load > 0.0 ? std::min(1.0, 1.0 / rep.max_load) : 1.0;
+  return rep;
+}
+
+}  // namespace
+
+LinkLoadReport minimal_link_loads_matrix(const Topology& topo, const MinimalTable& table,
+                                         const std::vector<NodeFlow>& flows) {
+  const ChannelIndex channels(topo);
+  std::vector<double> loads(channels.count(), 0.0);
+  // Group node flows by router pair before propagating.
+  std::map<std::pair<int, int>, double> acc;
+  for (const NodeFlow& f : flows) {
+    const int s = topo.router_of_node(f.src_node);
+    const int d = topo.router_of_node(f.dst_node);
+    if (s != d) acc[{s, d}] += f.weight;
+  }
+  for (const auto& [pair, w] : acc) {
+    propagate_minimal(topo, table, channels, pair.first, pair.second, w, loads);
+  }
+  return finalize(std::move(loads));
+}
+
+LinkLoadReport minimal_link_loads(const Topology& topo, const MinimalTable& table,
+                                  const std::vector<int>& dest_of) {
+  const ChannelIndex channels(topo);
+  std::vector<double> loads(channels.count(), 0.0);
+  for (const auto& [pair, w] : router_pairs(topo, dest_of)) {
+    propagate_minimal(topo, table, channels, pair.first, pair.second, w, loads);
+  }
+  return finalize(std::move(loads));
+}
+
+LinkLoadReport minimal_link_loads_uniform(const Topology& topo, const MinimalTable& table) {
+  const ChannelIndex channels(topo);
+  std::vector<double> loads(channels.count(), 0.0);
+  const double unit = 1.0 / static_cast<double>(topo.num_nodes() - 1);
+  for (int s : topo.edge_routers()) {
+    const double ps = topo.endpoints_of(s);
+    for (int d : topo.edge_routers()) {
+      if (s == d) continue;
+      // Every node of s sends `unit` to every node of d.
+      propagate_minimal(topo, table, channels, s, d,
+                        ps * topo.endpoints_of(d) * unit, loads);
+    }
+  }
+  return finalize(std::move(loads));
+}
+
+LinkLoadReport valiant_link_loads(const Topology& topo, const MinimalTable& table,
+                                  const std::vector<int>& dest_of,
+                                  const std::vector<int>& intermediates) {
+  const ChannelIndex channels(topo);
+  std::vector<double> loads(channels.count(), 0.0);
+  for (const auto& [pair, w] : router_pairs(topo, dest_of)) {
+    const auto [s, d] = pair;
+    // Count eligible intermediates (excluding s and d).
+    int eligible = 0;
+    for (int via : intermediates) eligible += (via != s && via != d) ? 1 : 0;
+    D2NET_REQUIRE(eligible > 0, "no eligible Valiant intermediate");
+    const double share = w / static_cast<double>(eligible);
+    for (int via : intermediates) {
+      if (via == s || via == d) continue;
+      propagate_minimal(topo, table, channels, s, via, share, loads);
+      propagate_minimal(topo, table, channels, via, d, share, loads);
+    }
+  }
+  return finalize(std::move(loads));
+}
+
+}  // namespace d2net

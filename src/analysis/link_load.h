@@ -1,0 +1,61 @@
+// Analytic (expected) channel-load model for oblivious routing.
+//
+// For a traffic pattern and an oblivious routing policy the expected load
+// on every directed channel is computable exactly: minimal routing splits
+// flow uniformly over the next hops at each step of the shortest-path DAG,
+// and Valiant routing averages two minimal segments over the eligible
+// intermediates. The most-loaded channel then bounds the saturation
+// throughput at 1 / max_load — this is exactly how Section 4.2 of the
+// paper derives the 1/2p (SF), 1/h (MLFM) and 1/k (OFT) worst-case
+// saturation points, and the simulator is expected to confirm it.
+#pragma once
+
+#include <vector>
+
+namespace d2net {
+
+class Topology;
+class MinimalTable;
+
+/// Expected channel loads, in units of one node's injection bandwidth.
+struct LinkLoadReport {
+  double max_load = 0.0;
+  double mean_load = 0.0;
+  /// Saturation bound: with links and NICs at the same line rate, the
+  /// network saturates when the hottest channel reaches capacity, i.e. at
+  /// offered fraction min(1, 1 / max_load).
+  double throughput_bound = 0.0;
+  /// Load of every directed router-to-router channel (channel c of router
+  /// u toward neighbors(u)[i] sits at prefix_degree(u) + i).
+  std::vector<double> loads;
+};
+
+/// One traffic-matrix entry: src_node sends `weight` units (fractions of
+/// its injection bandwidth) to dst_node.
+struct NodeFlow {
+  int src_node = -1;
+  int dst_node = -1;
+  double weight = 1.0;
+};
+
+/// Expected loads under oblivious minimal routing for an arbitrary traffic
+/// matrix (e.g. the 6-neighbor halo exchange of Fig. 14).
+LinkLoadReport minimal_link_loads_matrix(const Topology& topo, const MinimalTable& table,
+                                         const std::vector<NodeFlow>& flows);
+
+/// Expected loads under oblivious minimal routing for a node permutation
+/// (dest_of[n] == destination of node n; every node injects one unit).
+LinkLoadReport minimal_link_loads(const Topology& topo, const MinimalTable& table,
+                                  const std::vector<int>& dest_of);
+
+/// Same under uniform random traffic (every node sends 1/(N-1) units to
+/// every other node).
+LinkLoadReport minimal_link_loads_uniform(const Topology& topo, const MinimalTable& table);
+
+/// Expected loads under Valiant/indirect-random routing for a permutation;
+/// `intermediates` as produced by valiant_intermediates().
+LinkLoadReport valiant_link_loads(const Topology& topo, const MinimalTable& table,
+                                  const std::vector<int>& dest_of,
+                                  const std::vector<int>& intermediates);
+
+}  // namespace d2net

@@ -1,0 +1,78 @@
+#include "analysis/topology_report.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/table.h"
+#include "routing/cdg.h"
+#include "routing/factory.h"
+#include "routing/minimal_table.h"
+#include "routing/valiant_routing.h"
+#include "topology/cost_model.h"
+#include "topology/topology.h"
+
+namespace d2net {
+
+TopologyReport analyze_topology(const Topology& topo) {
+  TopologyReport rep;
+  rep.name = topo.name();
+  rep.num_nodes = topo.num_nodes();
+  rep.num_routers = topo.num_routers();
+  rep.num_links = topo.num_links();
+  rep.links_per_node = topo.links_per_node();
+  rep.ports_per_node = topo.ports_per_node();
+  int max_net_degree = 0;
+  for (int r = 0; r < topo.num_routers(); ++r) {
+    rep.max_radix = std::max(rep.max_radix, topo.router_radix(r));
+    max_net_degree = std::max(max_net_degree, topo.network_degree(r));
+  }
+  const DistanceMatrix dist = all_pairs_distances(topo);
+  rep.router_diameter = diameter(dist);
+  rep.node_diameter = node_diameter(topo, dist);
+  rep.avg_distance = average_distance(dist);
+  rep.diversity_d2 = path_diversity_at_distance(topo, 2);
+  rep.bisection = approximate_bisection_bandwidth(topo);
+  rep.moore_fraction = static_cast<double>(topo.num_routers()) /
+                       static_cast<double>(moore_bound_d2(max_net_degree));
+  return rep;
+}
+
+void print_topology_report(const TopologyReport& rep, std::ostream& os) {
+  Table t({"metric", "value"});
+  t.add("topology", rep.name);
+  t.add("endpoints (N)", rep.num_nodes);
+  t.add("routers (R)", rep.num_routers);
+  t.add("router-router links", rep.num_links);
+  t.add("max router radix", rep.max_radix);
+  t.add("links per endpoint", fmt(rep.links_per_node, 3));
+  t.add("ports per endpoint", fmt(rep.ports_per_node, 3));
+  t.add("router diameter", rep.router_diameter);
+  t.add("endpoint diameter", rep.node_diameter);
+  t.add("avg router distance", fmt(rep.avg_distance, 3));
+  t.add("dist-2 path diversity (mean)", fmt(rep.diversity_d2.mean, 3));
+  t.add("dist-2 path diversity (max)", static_cast<std::int64_t>(rep.diversity_d2.max));
+  t.add("bisection bw per node (b)", fmt(rep.bisection.per_node, 3));
+  t.add("Moore-bound fraction", fmt(rep.moore_fraction, 3));
+  t.print(os);
+}
+
+DeadlockReport check_deadlock_freedom(const Topology& topo) {
+  const MinimalTable table(topo);
+  const VcPolicy policy = vc_policy_for(topo.kind());
+  const std::vector<int> vias = valiant_intermediates(topo);
+  DeadlockReport rep;
+  rep.minimal_ok = check_minimal_deadlock_freedom(topo, table, policy).acyclic;
+  rep.indirect_ok = check_indirect_deadlock_freedom(topo, table, policy, vias).acyclic;
+  rep.single_vc_cyclic = !check_indirect_single_vc(topo, table, vias).acyclic;
+  return rep;
+}
+
+void print_deadlock_report(const DeadlockReport& rep, std::ostream& os) {
+  Table t({"check", "result"});
+  t.add("minimal routing CDG acyclic", rep.minimal_ok ? "yes" : "NO");
+  t.add("indirect routing CDG acyclic (with VCs)", rep.indirect_ok ? "yes" : "NO");
+  t.add("indirect on 1 VC cyclic (negative control)", rep.single_vc_cyclic ? "yes" : "NO");
+  t.print(os);
+}
+
+}  // namespace d2net

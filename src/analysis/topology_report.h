@@ -1,0 +1,50 @@
+// One-stop structural analysis of a topology: the quantities Sections 2.3.1
+// - 2.3.3 of the paper discuss (scale, cost, diameter, bisection, path
+// diversity), plus the deadlock-freedom verdicts of Section 3.4.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "partition/bisection_bandwidth.h"
+#include "topology/properties.h"
+
+namespace d2net {
+
+class Topology;
+
+struct TopologyReport {
+  std::string name;
+  int num_nodes = 0;
+  int num_routers = 0;
+  int num_links = 0;
+  int max_radix = 0;
+  double links_per_node = 0.0;
+  double ports_per_node = 0.0;
+  int router_diameter = 0;
+  int node_diameter = 0;  ///< between endpoint-attached routers
+  double avg_distance = 0.0;
+  PathDiversityStats diversity_d2;
+  BisectionBandwidth bisection;
+  double moore_fraction = 0.0;  ///< routers / Moore bound at the network degree
+};
+
+/// Computes the full report (runs all-pairs BFS and the partitioner; cost
+/// grows with R^2, intended for topologies up to a few thousand routers).
+TopologyReport analyze_topology(const Topology& topo);
+
+/// Pretty-prints the report.
+void print_topology_report(const TopologyReport& report, std::ostream& os);
+
+struct DeadlockReport {
+  bool minimal_ok = false;
+  bool indirect_ok = false;
+  bool single_vc_cyclic = false;  ///< negative control: 1 VC must cycle
+};
+
+/// Runs the CDG checks of Section 3.4 for the topology's routing family.
+DeadlockReport check_deadlock_freedom(const Topology& topo);
+
+void print_deadlock_report(const DeadlockReport& report, std::ostream& os);
+
+}  // namespace d2net

@@ -1,0 +1,61 @@
+// Error-checking macros used across d2net.
+//
+// D2NET_REQUIRE validates user-supplied arguments and configuration and is
+// always active. D2NET_ASSERT documents internal invariants; it is also
+// always active because the library's hot paths are event handlers whose
+// cost dwarfs a predictable branch, and a violated invariant in a network
+// simulator silently corrupts every downstream statistic.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace d2net {
+
+/// Exception type thrown on argument/configuration errors.
+class ArgumentError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Exception type thrown on violated internal invariants.
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_argument_error(const char* cond, const char* file, int line,
+                                              const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": requirement failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw ArgumentError(os.str());
+}
+
+[[noreturn]] inline void throw_internal_error(const char* cond, const char* file, int line,
+                                              const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": invariant violated: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw InternalError(os.str());
+}
+
+}  // namespace detail
+}  // namespace d2net
+
+#define D2NET_REQUIRE(cond, msg)                                                      \
+  do {                                                                                \
+    if (!(cond)) {                                                                    \
+      ::d2net::detail::throw_argument_error(#cond, __FILE__, __LINE__, (msg));        \
+    }                                                                                 \
+  } while (0)
+
+#define D2NET_ASSERT(cond, msg)                                                       \
+  do {                                                                                \
+    if (!(cond)) {                                                                    \
+      ::d2net::detail::throw_internal_error(#cond, __FILE__, __LINE__, (msg));        \
+    }                                                                                 \
+  } while (0)

@@ -1,0 +1,107 @@
+// Deterministic pseudo-random number generation.
+//
+// The simulator must be reproducible: the same seed yields the same packet
+// trace on every platform. We therefore avoid std::mt19937 +
+// std::uniform_int_distribution (whose algorithm is implementation-defined)
+// and ship xoshiro256** seeded through SplitMix64, with our own unbiased
+// bounded-integer rejection sampling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+
+namespace d2net {
+
+/// xoshiro256** 1.0 by Blackman & Vigna, seeded via SplitMix64.
+/// Satisfies the UniformRandomBitGenerator concept.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  /// Re-initializes the state from a 64-bit seed (SplitMix64 expansion).
+  void reseed(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      // SplitMix64 step.
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound), bound > 0. Unbiased (Lemire + rejection).
+  std::uint64_t next_below(std::uint64_t bound) {
+    D2NET_ASSERT(bound > 0, "next_below(0)");
+    // Lemire's multiply-shift with rejection for exact uniformity.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    D2NET_ASSERT(lo <= hi, "uniform_int range");
+    return lo + static_cast<std::int64_t>(next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = next_below(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& choice(const std::vector<T>& v) {
+    D2NET_ASSERT(!v.empty(), "choice from empty vector");
+    return v[next_below(v.size())];
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace d2net

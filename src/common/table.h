@@ -1,0 +1,57 @@
+// Minimal ASCII table / CSV rendering for bench output.
+//
+// The benches print the same rows/series the paper's tables and figures
+// report; this class keeps that output aligned and machine-parseable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace d2net {
+
+/// Column-aligned text table with an optional CSV rendering.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats each cell with operator<<.
+  template <typename... Ts>
+  void add(const Ts&... cells) {
+    std::vector<std::string> row;
+    row.reserve(sizeof...(cells));
+    (row.push_back(to_cell(cells)), ...);
+    add_row(std::move(row));
+  }
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(const char* s) { return s; }
+  static std::string to_cell(double v);
+  static std::string to_cell(float v) { return to_cell(static_cast<double>(v)); }
+  template <typename T>
+  static std::string to_cell(T v)
+    requires std::is_integral_v<T>
+  {
+    return std::to_string(v);
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of decimal places.
+std::string fmt(double v, int decimals = 2);
+
+/// Formats a fraction as a percentage string, e.g. 0.873 -> "87.3%".
+std::string fmt_pct(double fraction, int decimals = 1);
+
+}  // namespace d2net

@@ -1,0 +1,37 @@
+// Physical units used throughout the simulator.
+//
+// All simulated time is held in integer picoseconds so that event ordering
+// is exact and runs are bit-reproducible across platforms. Bandwidth is
+// expressed as picoseconds per byte (100 Gb/s == 80 ps/B), which keeps the
+// serialization-time computation a single integer multiply.
+#pragma once
+
+#include <cstdint>
+
+namespace d2net {
+
+/// Simulated time in picoseconds.
+using TimePs = std::int64_t;
+
+inline constexpr TimePs kPsPerNs = 1'000;
+inline constexpr TimePs kPsPerUs = 1'000'000;
+
+/// Converts nanoseconds to picoseconds.
+constexpr TimePs ns(double v) { return static_cast<TimePs>(v * kPsPerNs); }
+
+/// Converts microseconds to picoseconds.
+constexpr TimePs us(double v) { return static_cast<TimePs>(v * kPsPerUs); }
+
+/// Picoseconds needed to serialize one byte at a given line rate in Gb/s.
+/// 100 Gb/s -> 80 ps/B; 25 Gb/s -> 320 ps/B.
+constexpr TimePs ps_per_byte_at_gbps(double gbps) {
+  return static_cast<TimePs>(8'000.0 / gbps);
+}
+
+/// Converts picoseconds to (floating) microseconds, for reporting.
+constexpr double to_us(TimePs t) { return static_cast<double>(t) / kPsPerUs; }
+
+/// Converts picoseconds to (floating) nanoseconds, for reporting.
+constexpr double to_ns(TimePs t) { return static_cast<double>(t) / kPsPerNs; }
+
+}  // namespace d2net

@@ -1,0 +1,254 @@
+#include "gf/galois_field.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace d2net {
+namespace {
+
+/// Multiplies two polynomials over GF(p) (coefficient vectors, lowest first).
+std::vector<int> poly_mul(const std::vector<int>& a, const std::vector<int>& b, int p) {
+  std::vector<int> out(a.size() + b.size() - 1, 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == 0) continue;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      out[i + j] = (out[i + j] + a[i] * b[j]) % p;
+    }
+  }
+  return out;
+}
+
+/// Reduces `a` modulo the monic polynomial `mod` over GF(p), in place.
+void poly_mod(std::vector<int>& a, const std::vector<int>& mod, int p) {
+  const int deg_mod = static_cast<int>(mod.size()) - 1;
+  for (int i = static_cast<int>(a.size()) - 1; i >= deg_mod; --i) {
+    const int c = a[i];
+    if (c == 0) continue;
+    a[i] = 0;
+    for (int j = 0; j < deg_mod; ++j) {
+      // Subtract c * x^(i-deg_mod) * mod.
+      a[i - deg_mod + j] = ((a[i - deg_mod + j] - c * mod[j]) % p + p) % p;
+    }
+  }
+  a.resize(std::min<std::size_t>(a.size(), mod.size() - 1));
+  a.resize(mod.size() - 1, 0);
+}
+
+/// Encodes a coefficient vector as an integer (base-p digits).
+int poly_encode(const std::vector<int>& a, int p) {
+  int v = 0;
+  for (int i = static_cast<int>(a.size()) - 1; i >= 0; --i) v = v * p + a[i];
+  return v;
+}
+
+/// Decodes an integer into m base-p digits.
+std::vector<int> poly_decode(int v, int p, int m) {
+  std::vector<int> a(m, 0);
+  for (int i = 0; i < m; ++i) {
+    a[i] = v % p;
+    v /= p;
+  }
+  return a;
+}
+
+/// Tests whether a monic polynomial (lowest-first coefficients, degree >= 1)
+/// is irreducible over GF(p) by trial division with all monic polynomials of
+/// degree up to deg/2. Fine for the small degrees used here (m <= 6).
+bool poly_irreducible(const std::vector<int>& f, int p) {
+  const int deg = static_cast<int>(f.size()) - 1;
+  for (int d = 1; d <= deg / 2; ++d) {
+    // Enumerate all monic polynomials of degree d: p^d of them.
+    int count = 1;
+    for (int i = 0; i < d; ++i) count *= p;
+    for (int code = 0; code < count; ++code) {
+      std::vector<int> g = poly_decode(code, p, d);
+      g.push_back(1);  // monic
+      // Compute f mod g: synthetic division.
+      std::vector<int> r = f;
+      for (int i = static_cast<int>(r.size()) - 1; i >= d; --i) {
+        const int c = r[i];
+        if (c == 0) continue;
+        r[i] = 0;
+        for (int j = 0; j < d; ++j) {
+          r[i - d + j] = ((r[i - d + j] - c * g[j]) % p + p) % p;
+        }
+      }
+      bool zero = true;
+      for (int i = 0; i < d; ++i) {
+        if (r[i] != 0) {
+          zero = false;
+          break;
+        }
+      }
+      if (zero) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool GaloisField::is_prime(int n) {
+  if (n < 2) return false;
+  for (int d = 2; static_cast<std::int64_t>(d) * d <= n; ++d) {
+    if (n % d == 0) return false;
+  }
+  return true;
+}
+
+bool GaloisField::factor_prime_power(int q, int& p, int& m) {
+  if (q < 2) return false;
+  for (int d = 2; static_cast<std::int64_t>(d) * d <= q; ++d) {
+    if (q % d == 0) {
+      // d is the smallest prime factor; q must be a power of d.
+      int v = q;
+      int e = 0;
+      while (v % d == 0) {
+        v /= d;
+        ++e;
+      }
+      if (v != 1) return false;
+      p = d;
+      m = e;
+      return true;
+    }
+  }
+  p = q;  // q itself is prime
+  m = 1;
+  return true;
+}
+
+bool GaloisField::is_prime_power(int q) {
+  int p = 0;
+  int m = 0;
+  return factor_prime_power(q, p, m);
+}
+
+GaloisField::GaloisField(int q) : q_(q) {
+  D2NET_REQUIRE(factor_prime_power(q, p_, m_), "GF order must be a prime power >= 2, got " +
+                                                   std::to_string(q));
+  if (m_ > 1) {
+    // Find the lexicographically first monic irreducible polynomial of
+    // degree m over GF(p).
+    int count = 1;
+    for (int i = 0; i < m_; ++i) count *= p_;
+    for (int code = 0; code < count; ++code) {
+      std::vector<int> f = poly_decode(code, p_, m_);
+      f.push_back(1);
+      if (f[0] != 0 && poly_irreducible(f, p_)) {  // f(0) != 0 avoids factor x
+        modulus_ = std::move(f);
+        break;
+      }
+    }
+    D2NET_ASSERT(!modulus_.empty(), "no irreducible polynomial found");
+  } else {
+    modulus_ = {0, 1};  // placeholder; unused for prime fields
+  }
+  build_tables();
+}
+
+int GaloisField::poly_mul_mod(int a, int b) const {
+  if (m_ == 1) return static_cast<int>((static_cast<std::int64_t>(a) * b) % p_);
+  std::vector<int> pa = poly_decode(a, p_, m_);
+  std::vector<int> pb = poly_decode(b, p_, m_);
+  std::vector<int> prod = poly_mul(pa, pb, p_);
+  poly_mod(prod, modulus_, p_);
+  return poly_encode(prod, p_);
+}
+
+void GaloisField::build_tables() {
+  exp_.assign(q_ - 1, 0);
+  log_.assign(q_, -1);
+  // Find a generator: an element whose multiplicative order is q-1.
+  // Candidates are tried in increasing integer encoding.
+  for (int g = 2; g < q_; ++g) {
+    int x = 1;
+    int order = 0;
+    do {
+      x = poly_mul_mod(x, g);
+      ++order;
+    } while (x != 1 && order <= q_);
+    if (order == q_ - 1) {
+      generator_ = g;
+      break;
+    }
+  }
+  // GF(2) and GF(3) special-case: generator may be 1 (GF(2)) or 2 (GF(3)).
+  if (generator_ == 0) {
+    D2NET_ASSERT(q_ == 2, "failed to find a generator");
+    generator_ = 1;
+  }
+  int x = 1;
+  for (int i = 0; i < q_ - 1; ++i) {
+    exp_[i] = x;
+    D2NET_ASSERT(log_[x] == -1, "generator order too small");
+    log_[x] = i;
+    x = poly_mul_mod(x, generator_);
+  }
+  D2NET_ASSERT(x == 1, "generator order mismatch");
+}
+
+int GaloisField::add(int a, int b) const {
+  D2NET_ASSERT(a >= 0 && a < q_ && b >= 0 && b < q_, "element out of range");
+  if (m_ == 1) return (a + b) % p_;
+  int out = 0;
+  int mult = 1;
+  for (int i = 0; i < m_; ++i) {
+    out += ((a % p_ + b % p_) % p_) * mult;
+    a /= p_;
+    b /= p_;
+    mult *= p_;
+  }
+  return out;
+}
+
+int GaloisField::neg(int a) const {
+  D2NET_ASSERT(a >= 0 && a < q_, "element out of range");
+  if (m_ == 1) return (p_ - a) % p_;
+  int out = 0;
+  int mult = 1;
+  for (int i = 0; i < m_; ++i) {
+    out += ((p_ - a % p_) % p_) * mult;
+    a /= p_;
+    mult *= p_;
+  }
+  return out;
+}
+
+int GaloisField::mul(int a, int b) const {
+  D2NET_ASSERT(a >= 0 && a < q_ && b >= 0 && b < q_, "element out of range");
+  if (a == 0 || b == 0) return 0;
+  return exp_[(log_[a] + log_[b]) % (q_ - 1)];
+}
+
+int GaloisField::inv(int a) const {
+  D2NET_REQUIRE(a != 0, "inverse of zero");
+  D2NET_ASSERT(a > 0 && a < q_, "element out of range");
+  return exp_[(q_ - 1 - log_[a]) % (q_ - 1)];
+}
+
+int GaloisField::pow(int a, std::int64_t e) const {
+  D2NET_ASSERT(a >= 0 && a < q_, "element out of range");
+  if (a == 0) {
+    D2NET_REQUIRE(e > 0, "0^e undefined for e <= 0");
+    return 0;
+  }
+  const std::int64_t period = q_ - 1;
+  std::int64_t idx = (static_cast<std::int64_t>(log_[a]) * (e % period)) % period;
+  if (idx < 0) idx += period;
+  return exp_[idx];
+}
+
+int GaloisField::log(int a) const {
+  D2NET_REQUIRE(a != 0, "log of zero");
+  D2NET_ASSERT(a > 0 && a < q_, "element out of range");
+  return log_[a];
+}
+
+int GaloisField::exp(int e) const {
+  D2NET_ASSERT(e >= 0 && e < q_ - 1, "exponent out of range");
+  return exp_[e];
+}
+
+}  // namespace d2net

@@ -1,0 +1,67 @@
+// Finite-field arithmetic GF(p^m) for arbitrary prime powers.
+//
+// The Slim Fly's MMS graph construction (Besta & Hoefler, SC'14; McKay,
+// Miller & Širáň 1998) needs a primitive element of GF(q) for prime powers
+// q = 4w + δ, and the OFT's ML3B table needs mutually orthogonal Latin
+// squares, which exist for any prime-power order via GF multiplication.
+//
+// Elements are encoded as integers in [0, q): an element's base-p digit
+// expansion gives the coefficients of its polynomial representation over
+// GF(p). Multiplication uses exp/log tables built from a primitive element;
+// addition is digit-wise mod p (plain mod-p addition when m == 1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace d2net {
+
+/// Immutable finite field of prime-power order q = p^m.
+class GaloisField {
+ public:
+  /// Constructs GF(q). Throws ArgumentError if q is not a prime power >= 2.
+  explicit GaloisField(int q);
+
+  int order() const { return q_; }           ///< q = p^m
+  int characteristic() const { return p_; }  ///< p
+  int degree() const { return m_; }          ///< m
+
+  /// A fixed primitive element (generator of the multiplicative group).
+  int primitive_element() const { return generator_; }
+
+  int add(int a, int b) const;
+  int neg(int a) const;
+  int sub(int a, int b) const { return add(a, neg(b)); }
+  int mul(int a, int b) const;
+  int inv(int a) const;  ///< Throws on a == 0.
+  int pow(int a, std::int64_t e) const;
+
+  /// Discrete log base the primitive element; a must be nonzero.
+  int log(int a) const;
+  /// generator^e for e in [0, q-1).
+  int exp(int e) const;
+
+  /// The coefficients of the irreducible modulus polynomial (degree m,
+  /// monic), lowest degree first; size m+1. For m == 1 this is {−(p), 1}
+  /// conceptually, returned as {0, 1} placeholder — only meaningful m > 1.
+  const std::vector<int>& modulus() const { return modulus_; }
+
+  static bool is_prime(int n);
+  /// If q = p^m for prime p, returns true and sets p and m; else false.
+  static bool factor_prime_power(int q, int& p, int& m);
+  static bool is_prime_power(int q);
+
+ private:
+  int poly_mul_mod(int a, int b) const;  ///< Polynomial multiply mod modulus_.
+  void build_tables();
+
+  int p_ = 0;
+  int m_ = 0;
+  int q_ = 0;
+  int generator_ = 0;
+  std::vector<int> modulus_;  ///< Irreducible polynomial, used when m > 1.
+  std::vector<int> exp_;      ///< exp_[i] = g^i, i in [0, q-1).
+  std::vector<int> log_;      ///< log_[exp_[i]] = i; log_[0] unused.
+};
+
+}  // namespace d2net

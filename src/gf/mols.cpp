@@ -1,0 +1,60 @@
+#include "gf/mols.h"
+
+#include "common/error.h"
+#include "gf/galois_field.h"
+
+namespace d2net {
+
+std::vector<LatinSquare> complete_mols(int n) {
+  D2NET_REQUIRE(n >= 2, "MOLS order must be >= 2");
+  GaloisField gf(n);
+  std::vector<LatinSquare> out;
+  out.reserve(n - 1);
+  for (int a = 1; a < n; ++a) {
+    LatinSquare sq(n, std::vector<int>(n, 0));
+    for (int r = 0; r < n; ++r) {
+      for (int c = 0; c < n; ++c) {
+        sq[r][c] = gf.add(r, gf.mul(a, c));
+      }
+    }
+    out.push_back(std::move(sq));
+  }
+  return out;
+}
+
+bool is_latin_square(const LatinSquare& square) {
+  const int n = static_cast<int>(square.size());
+  if (n == 0) return false;
+  for (const auto& row : square) {
+    if (static_cast<int>(row.size()) != n) return false;
+  }
+  for (int r = 0; r < n; ++r) {
+    std::vector<bool> seen_row(n, false);
+    std::vector<bool> seen_col(n, false);
+    for (int c = 0; c < n; ++c) {
+      const int vr = square[r][c];
+      const int vc = square[c][r];
+      if (vr < 0 || vr >= n || vc < 0 || vc >= n) return false;
+      if (seen_row[vr] || seen_col[vc]) return false;
+      seen_row[vr] = true;
+      seen_col[vc] = true;
+    }
+  }
+  return true;
+}
+
+bool are_orthogonal(const LatinSquare& a, const LatinSquare& b) {
+  const int n = static_cast<int>(a.size());
+  if (n == 0 || b.size() != a.size()) return false;
+  std::vector<bool> seen(static_cast<std::size_t>(n) * n, false);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      const int idx = a[r][c] * n + b[r][c];
+      if (seen[idx]) return false;
+      seen[idx] = true;
+    }
+  }
+  return true;
+}
+
+}  // namespace d2net

@@ -1,0 +1,30 @@
+// Mutually Orthogonal Latin Squares (MOLS).
+//
+// For a prime-power order n, the n-1 squares L_a(r, c) = r + a*c over GF(n)
+// (a ranging over the nonzero field elements) form a complete set of MOLS
+// [Dénes & Keedwell 1974]. The OFT's ML3B construction (Valerio et al.;
+// Kathareios et al. SC'15, Section 2.2.4) consumes the k-2 squares of order
+// k-1 beyond the first two canonical ones.
+#pragma once
+
+#include <vector>
+
+namespace d2net {
+
+/// A Latin square of order n stored row-major; cell(r, c) in [0, n).
+using LatinSquare = std::vector<std::vector<int>>;
+
+/// Returns the complete set of n-1 mutually orthogonal Latin squares of
+/// prime-power order n, in the canonical GF order: square index a-1 holds
+/// L_a(r, c) = r + a*c (field arithmetic), for each nonzero element a in
+/// increasing integer encoding. Throws ArgumentError if n is not a prime
+/// power.
+std::vector<LatinSquare> complete_mols(int n);
+
+/// True if `square` is a Latin square (each symbol once per row and column).
+bool is_latin_square(const LatinSquare& square);
+
+/// True if superimposing a and b yields every ordered pair exactly once.
+bool are_orthogonal(const LatinSquare& a, const LatinSquare& b);
+
+}  // namespace d2net

@@ -1,0 +1,42 @@
+#include "partition/bisection_bandwidth.h"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "partition/partitioner.h"
+#include "topology/topology.h"
+
+namespace d2net {
+
+BisectionBandwidth approximate_bisection_bandwidth(const Topology& topo, int seeds) {
+  std::vector<std::array<int, 3>> edges;
+  edges.reserve(topo.links().size());
+  for (const Link& l : topo.links()) edges.push_back({l.r1, l.r2, 1});
+  std::vector<int> vwgt(topo.num_routers());
+  for (int r = 0; r < topo.num_routers(); ++r) vwgt[r] = topo.endpoints_of(r);
+  const CsrGraph g = make_csr(topo.num_routers(), edges, std::move(vwgt));
+
+  BisectionResult best;
+  bool have = false;
+  for (int s = 1; s <= seeds; ++s) {
+    BisectionOptions opts;
+    opts.seed = static_cast<std::uint64_t>(s) * 0x9E3779B9u + 7;
+    BisectionResult r = bisect(g, opts);
+    if (!have || r.cut_weight < best.cut_weight) {
+      best = std::move(r);
+      have = true;
+    }
+  }
+
+  BisectionBandwidth out;
+  out.cut_links = best.cut_weight;
+  out.nodes_side0 = best.weight[0];
+  out.nodes_side1 = best.weight[1];
+  const auto larger = std::max(out.nodes_side0, out.nodes_side1);
+  out.per_node = larger > 0 ? static_cast<double>(out.cut_links) / static_cast<double>(larger)
+                            : 0.0;
+  return out;
+}
+
+}  // namespace d2net

@@ -1,0 +1,27 @@
+// Approximate bisection bandwidth of a topology (paper Section 2.3.2,
+// Fig. 4): partition the routers into two halves with (approximately) equal
+// endpoint counts, minimizing cut links; report cut bandwidth per endpoint
+// in one half, in units of the link bandwidth b. Full bisection == 1.0 b.
+#pragma once
+
+#include <cstdint>
+
+namespace d2net {
+
+class Topology;
+
+struct BisectionBandwidth {
+  std::int64_t cut_links = 0;
+  std::int64_t nodes_side0 = 0;
+  std::int64_t nodes_side1 = 0;
+  /// Cut bandwidth normalized per endpoint of the larger half, in units of
+  /// the link bandwidth b (the paper's "x b per end-node" metric).
+  double per_node = 0.0;
+};
+
+/// Runs the multilevel partitioner on the router graph (vertex weight =
+/// endpoints attached, edge weight = 1 per link) with several seeds and
+/// returns the best (smallest-cut) balanced bisection found.
+BisectionBandwidth approximate_bisection_bandwidth(const Topology& topo, int seeds = 6);
+
+}  // namespace d2net

@@ -1,0 +1,48 @@
+// Channel-dependency-graph (CDG) construction and cycle detection
+// (Dally & Towles; paper Section 3.4).
+//
+// A virtual channel network is deadlock-free if the dependency graph over
+// (directed channel, VC) pairs is acyclic. We build the CDG from the exact
+// route set an algorithm can emit — all minimal paths for minimal routing,
+// all (src, via, dst) two-segment combinations for indirect/adaptive
+// routing — and run a topological-order check.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace d2net {
+
+class Topology;
+class MinimalTable;
+enum class VcPolicy;
+
+struct CdgReport {
+  bool acyclic = false;
+  std::int64_t nodes = 0;  ///< (channel, VC) pairs actually used
+  std::int64_t edges = 0;  ///< dependencies
+};
+
+/// CDG over every minimal route (all shortest paths for all router pairs)
+/// under the given VC policy.
+CdgReport check_minimal_deadlock_freedom(const Topology& topo, const MinimalTable& table,
+                                         VcPolicy policy);
+
+/// CDG over every possible indirect route: for each ordered (src, dst) pair
+/// and each eligible intermediate, all shortest-path combinations of the two
+/// segments. This also covers UGAL (whose route set is the union of the
+/// minimal and indirect sets) when combined with the minimal check.
+/// O(R^2 * |intermediates|) pair enumeration — intended for the moderate
+/// topology sizes used in tests.
+CdgReport check_indirect_deadlock_freedom(const Topology& topo, const MinimalTable& table,
+                                          VcPolicy policy,
+                                          const std::vector<int>& intermediates);
+
+/// Same dependency set as check_indirect_deadlock_freedom but with every hop
+/// forced onto a single virtual channel. Expected to be *cyclic* on all the
+/// studied topologies — this is the negative control demonstrating why the
+/// VC schemes of Section 3.4 are required.
+CdgReport check_indirect_single_vc(const Topology& topo, const MinimalTable& table,
+                                   const std::vector<int>& intermediates);
+
+}  // namespace d2net

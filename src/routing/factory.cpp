@@ -1,0 +1,98 @@
+#include "routing/factory.h"
+
+#include "common/error.h"
+#include "routing/minimal_routing.h"
+#include "routing/ugal_global_routing.h"
+#include "routing/valiant_routing.h"
+#include "topology/topology.h"
+
+namespace d2net {
+
+const char* to_string(RoutingStrategy s) {
+  switch (s) {
+    case RoutingStrategy::kMinimal: return "MIN";
+    case RoutingStrategy::kValiant: return "INR";
+    case RoutingStrategy::kUgal: return "UGAL";
+    case RoutingStrategy::kUgalThreshold: return "UGAL-Th";
+    case RoutingStrategy::kUgalGlobal: return "UGAL-G";
+  }
+  return "?";
+}
+
+VcPolicy vc_policy_for(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kSlimFly:
+    case TopologyKind::kHyperX2D:
+    // Dragonfly minimal routes (local-global-local) are not ordered by a
+    // towards/away classification; the standard scheme increments the VC
+    // per hop, which the hop-index policy implements.
+    case TopologyKind::kDragonfly:
+      return VcPolicy::kHopIndex;
+    default:
+      return VcPolicy::kPhase;
+  }
+}
+
+UgalParams default_ugal_params(TopologyKind kind, bool threshold) {
+  UgalParams p;
+  switch (kind) {
+    case TopologyKind::kSlimFly:
+    case TopologyKind::kHyperX2D:
+    case TopologyKind::kDragonfly:  // UGAL's original target topology
+      p.num_indirect = 4;
+      p.c = 1.0;  // cSF
+      p.sf_length_scaling = true;
+      break;
+    case TopologyKind::kMlfm:
+      p.num_indirect = 5;
+      p.c = 2.0;
+      break;
+    case TopologyKind::kOft:
+      p.num_indirect = 1;
+      p.c = 2.0;
+      break;
+    default:
+      p.num_indirect = 4;
+      p.c = 2.0;
+      break;
+  }
+  p.threshold = threshold ? 0.10 : -1.0;
+  return p;
+}
+
+std::unique_ptr<RoutingAlgorithm> make_routing(const Topology& topo, const MinimalTable& table,
+                                               RoutingStrategy strategy,
+                                               const PortLoadProvider& loads) {
+  return make_routing(topo, table, strategy, loads,
+                      default_ugal_params(topo.kind(), strategy == RoutingStrategy::kUgalThreshold));
+}
+
+std::unique_ptr<RoutingAlgorithm> make_routing(const Topology& topo, const MinimalTable& table,
+                                               RoutingStrategy strategy,
+                                               const PortLoadProvider& loads,
+                                               const UgalParams& params) {
+  const VcPolicy policy = vc_policy_for(topo.kind());
+  switch (strategy) {
+    case RoutingStrategy::kMinimal:
+      return std::make_unique<MinimalRouting>(table, policy);
+    case RoutingStrategy::kValiant:
+      return std::make_unique<ValiantRouting>(table, policy, valiant_intermediates(topo));
+    case RoutingStrategy::kUgalGlobal:
+      return std::make_unique<UgalGlobalRouting>(table, policy, valiant_intermediates(topo),
+                                                 params.num_indirect, params.c, loads);
+    case RoutingStrategy::kUgal:
+    case RoutingStrategy::kUgalThreshold: {
+      UgalParams p = params;
+      if (strategy == RoutingStrategy::kUgalThreshold && p.threshold < 0) p.threshold = 0.10;
+      if (strategy == RoutingStrategy::kUgal) p.threshold = -1.0;
+      std::string label = std::string(to_string(topo.kind())) +
+                          (strategy == RoutingStrategy::kUgal ? "-A" : "-ATh");
+      return std::make_unique<UgalRouting>(table, policy, valiant_intermediates(topo), p, loads,
+                                           std::move(label));
+    }
+  }
+  D2NET_ASSERT(false, "unreachable");
+  return nullptr;
+}
+
+}  // namespace d2net

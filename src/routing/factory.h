@@ -1,0 +1,50 @@
+// Convenience construction of the paper's routing configurations.
+//
+// Maps each topology kind to its VC policy (Section 3.4) and carries the
+// per-topology UGAL defaults the paper converges on in Section 4.3.2:
+// SF-A (cSF = 1, nI = 4, length-scaled cost), MLFM-A (c = 2, nI = 5),
+// OFT-A (c = 2, nI = 1), with T = 10% for the threshold variants.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "routing/routing_algorithm.h"
+#include "routing/ugal_routing.h"
+#include "topology/topology.h"
+
+namespace d2net {
+
+class Topology;
+class MinimalTable;
+
+enum class RoutingStrategy {
+  kMinimal,        ///< MIN
+  kValiant,        ///< INR (indirect random)
+  kUgal,           ///< x-A (generic UGAL-L)
+  kUgalThreshold,  ///< x-ATh (UGAL-L with a minimal-routing threshold)
+  kUgalGlobal,     ///< UGAL-G oracle baseline (global queue knowledge)
+};
+
+const char* to_string(RoutingStrategy s);
+
+/// Deadlock-avoidance VC policy per topology (Section 3.4): hop-indexed VCs
+/// for the direct topologies, phase VCs for the SSPT family and Fat-Trees.
+VcPolicy vc_policy_for(TopologyKind kind);
+
+/// The paper's tuned adaptive-routing parameters for each topology.
+UgalParams default_ugal_params(TopologyKind kind, bool threshold);
+
+/// Builds a routing algorithm. `topo`, `table` and `loads` must outlive the
+/// returned object. For oblivious strategies `loads` may be a
+/// ZeroLoadProvider. Pass `params` to override the defaults (ignored for
+/// oblivious strategies).
+std::unique_ptr<RoutingAlgorithm> make_routing(const Topology& topo, const MinimalTable& table,
+                                               RoutingStrategy strategy,
+                                               const PortLoadProvider& loads);
+std::unique_ptr<RoutingAlgorithm> make_routing(const Topology& topo, const MinimalTable& table,
+                                               RoutingStrategy strategy,
+                                               const PortLoadProvider& loads,
+                                               const UgalParams& params);
+
+}  // namespace d2net

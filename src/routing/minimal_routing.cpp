@@ -1,0 +1,25 @@
+#include "routing/minimal_routing.h"
+
+#include "common/error.h"
+
+namespace d2net {
+
+MinimalRouting::MinimalRouting(const MinimalTable& table, VcPolicy policy)
+    : table_(table), policy_(policy) {}
+
+Route MinimalRouting::route(int src_router, int dst_router, Rng& rng) const {
+  D2NET_REQUIRE(src_router != dst_router, "route() needs distinct routers");
+  Route r;
+  r.routers = table_.sample_path(src_router, dst_router, rng);
+  r.intermediate_pos = -1;
+  assign_vcs(r, policy_);
+  return r;
+}
+
+int MinimalRouting::num_vcs() const {
+  // Hop-indexed VCs need one VC per hop of the longest minimal route;
+  // the phase policy keeps every minimal route on VC 0.
+  return policy_ == VcPolicy::kHopIndex ? table_.diameter() : 1;
+}
+
+}  // namespace d2net

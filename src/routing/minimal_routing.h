@@ -1,0 +1,28 @@
+// Oblivious minimal routing (paper Section 3.1). Where several minimal
+// paths exist the next hop is drawn uniformly at random (footnote 1 of the
+// paper allows either random or lowest-cost selection; the adaptive
+// algorithms use the cost-aware variant instead).
+#pragma once
+
+#include <string>
+
+#include "routing/minimal_table.h"
+#include "routing/routing_algorithm.h"
+
+namespace d2net {
+
+class MinimalRouting final : public RoutingAlgorithm {
+ public:
+  /// `table` must outlive the algorithm.
+  MinimalRouting(const MinimalTable& table, VcPolicy policy);
+
+  Route route(int src_router, int dst_router, Rng& rng) const override;
+  int num_vcs() const override;
+  std::string name() const override { return "MIN"; }
+
+ private:
+  const MinimalTable& table_;
+  VcPolicy policy_;
+};
+
+}  // namespace d2net

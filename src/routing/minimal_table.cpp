@@ -1,0 +1,107 @@
+#include "routing/minimal_table.h"
+
+#include <queue>
+
+#include "common/error.h"
+#include "topology/topology.h"
+
+namespace d2net {
+
+MinimalTable::MinimalTable(const Topology& topo) : n_(topo.num_routers()) {
+  dist_.assign(static_cast<std::size_t>(n_) * n_, -1);
+  nh_off_.assign(static_cast<std::size_t>(n_) * n_ + 1, 0);
+
+  // Pass 1: BFS per source to fill distances.
+  std::vector<int> dist(n_);
+  for (int s = 0; s < n_; ++s) {
+    std::fill(dist.begin(), dist.end(), -1);
+    std::queue<int> q;
+    dist[s] = 0;
+    q.push(s);
+    while (!q.empty()) {
+      const int u = q.front();
+      q.pop();
+      for (int v : topo.neighbors(u)) {
+        if (dist[v] < 0) {
+          dist[v] = dist[u] + 1;
+          q.push(v);
+        }
+      }
+    }
+    for (int t = 0; t < n_; ++t) {
+      D2NET_REQUIRE(dist[t] >= 0, "topology is disconnected");
+      dist_[idx(s, t)] = static_cast<std::int16_t>(dist[t]);
+      if (dist[t] > diameter_) diameter_ = dist[t];
+    }
+  }
+
+  // Pass 2: next-hop sets. Neighbor v of a is a next hop toward b iff
+  // dist(v, b) == dist(a, b) - 1.
+  std::size_t total = 0;
+  for (int a = 0; a < n_; ++a) {
+    for (int b = 0; b < n_; ++b) {
+      if (a == b) continue;
+      const int d = dist_[idx(a, b)];
+      for (int v : topo.neighbors(a)) {
+        if (dist_[idx(v, b)] == d - 1) ++total;
+      }
+    }
+  }
+  nh_data_.resize(total);
+  std::size_t fill = 0;
+  for (int a = 0; a < n_; ++a) {
+    for (int b = 0; b < n_; ++b) {
+      nh_off_[idx(a, b)] = static_cast<std::uint32_t>(fill);
+      if (a != b) {
+        const int d = dist_[idx(a, b)];
+        for (int v : topo.neighbors(a)) {
+          if (dist_[idx(v, b)] == d - 1) nh_data_[fill++] = v;
+        }
+      }
+    }
+  }
+  nh_off_.back() = static_cast<std::uint32_t>(fill);
+  D2NET_ASSERT(fill == total, "next-hop fill mismatch");
+}
+
+std::vector<int> MinimalTable::sample_path(int a, int b, Rng& rng) const {
+  std::vector<int> path{a};
+  int cur = a;
+  while (cur != b) {
+    const auto nh = next_hops(cur, b);
+    D2NET_ASSERT(!nh.empty(), "no next hop on minimal path");
+    cur = nh[rng.next_below(nh.size())];
+    path.push_back(cur);
+  }
+  return path;
+}
+
+void MinimalTable::enumerate_paths(int a, int b, std::vector<std::vector<int>>& out) const {
+  std::vector<int> stack{a};
+  // Iterative DFS over the shortest-path DAG.
+  struct Frame {
+    int router;
+    std::size_t next_index;
+  };
+  std::vector<Frame> frames{{a, 0}};
+  while (!frames.empty()) {
+    Frame& f = frames.back();
+    if (f.router == b) {
+      out.push_back(stack);
+      frames.pop_back();
+      stack.pop_back();
+      continue;
+    }
+    const auto nh = next_hops(f.router, b);
+    if (f.next_index >= nh.size()) {
+      frames.pop_back();
+      stack.pop_back();
+      continue;
+    }
+    const int v = nh[f.next_index++];
+    frames.push_back({v, 0});
+    stack.push_back(v);
+  }
+}
+
+}  // namespace d2net

@@ -1,0 +1,52 @@
+// Precomputed minimal (shortest-path) routing structure: for every ordered
+// router pair, the distance and the set of next-hop neighbors that lie on a
+// shortest path. Stored flat for cache friendliness at R^2 scale.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace d2net {
+
+class Topology;
+
+class MinimalTable {
+ public:
+  explicit MinimalTable(const Topology& topo);
+
+  int num_routers() const { return n_; }
+  int distance(int a, int b) const { return dist_[idx(a, b)]; }
+  int diameter() const { return diameter_; }
+
+  /// Neighbors of `a` that start a shortest path toward `b`; empty iff
+  /// a == b.
+  std::span<const int> next_hops(int a, int b) const {
+    const std::size_t i = idx(a, b);
+    return {nh_data_.data() + nh_off_[i], nh_data_.data() + nh_off_[i + 1]};
+  }
+
+  /// Samples one minimal path a -> b, choosing uniformly among next hops at
+  /// every step. Returns {a} when a == b.
+  std::vector<int> sample_path(int a, int b, Rng& rng) const;
+
+  /// Appends all minimal paths a -> b to `out` (each path includes both
+  /// endpoints). Exponential in principle but bounded by the tiny path
+  /// diversity of the studied networks; used by the deadlock checker.
+  void enumerate_paths(int a, int b, std::vector<std::vector<int>>& out) const;
+
+ private:
+  std::size_t idx(int a, int b) const {
+    return static_cast<std::size_t>(a) * static_cast<std::size_t>(n_) + b;
+  }
+
+  int n_ = 0;
+  int diameter_ = 0;
+  std::vector<std::int16_t> dist_;
+  std::vector<std::uint32_t> nh_off_;  ///< size n^2 + 1
+  std::vector<int> nh_data_;
+};
+
+}  // namespace d2net

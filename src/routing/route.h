@@ -1,0 +1,28 @@
+// Route representation shared by the routing algorithms and the simulator.
+//
+// Routing decisions are made once, at injection, at the source router
+// (paper Section 3.3, local UGAL); the chosen router path and the per-hop
+// virtual channels travel with the packet.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace d2net {
+
+struct Route {
+  /// Routers visited, source first, destination last. A route within a
+  /// single router has size 1 and no hops.
+  std::vector<int> routers;
+  /// vcs[i] is the virtual channel used on the link routers[i]->routers[i+1];
+  /// size == routers.size() - 1.
+  std::vector<std::uint8_t> vcs;
+  /// Index into `routers` of the Valiant intermediate, or -1 for a minimal
+  /// route.
+  int intermediate_pos = -1;
+
+  int hops() const { return static_cast<int>(routers.size()) - 1; }
+  bool minimal() const { return intermediate_pos < 0; }
+};
+
+}  // namespace d2net

@@ -1,0 +1,63 @@
+#include "routing/ugal_global_routing.h"
+
+#include "common/error.h"
+
+namespace d2net {
+
+UgalGlobalRouting::UgalGlobalRouting(const MinimalTable& table, VcPolicy policy,
+                                     std::vector<int> intermediates, int num_indirect,
+                                     double c, const PortLoadProvider& loads)
+    : table_(table),
+      policy_(policy),
+      intermediates_(std::move(intermediates)),
+      num_indirect_(num_indirect),
+      c_(c),
+      loads_(loads) {
+  D2NET_REQUIRE(num_indirect_ >= 1, "UGAL-G needs at least one indirect candidate");
+  D2NET_REQUIRE(intermediates_.size() >= 3, "UGAL-G needs at least three intermediates");
+}
+
+std::int64_t UgalGlobalRouting::path_cost(const std::vector<int>& routers) const {
+  std::int64_t cost = 0;
+  for (std::size_t i = 0; i + 1 < routers.size(); ++i) {
+    cost += loads_.output_queue_bytes(routers[i], routers[i + 1]);
+  }
+  return cost;
+}
+
+Route UgalGlobalRouting::route(int src_router, int dst_router, Rng& rng) const {
+  D2NET_REQUIRE(src_router != dst_router, "route() needs distinct routers");
+
+  std::vector<int> best_path = table_.sample_path(src_router, dst_router, rng);
+  double best_cost = static_cast<double>(path_cost(best_path));
+  int best_intermediate_pos = -1;
+
+  for (int j = 0; j < num_indirect_; ++j) {
+    int via;
+    do {
+      via = intermediates_[rng.next_below(intermediates_.size())];
+    } while (via == src_router || via == dst_router);
+    std::vector<int> candidate = table_.sample_path(src_router, via, rng);
+    const int via_pos = static_cast<int>(candidate.size()) - 1;
+    const std::vector<int> second = table_.sample_path(via, dst_router, rng);
+    candidate.insert(candidate.end(), second.begin() + 1, second.end());
+    const double cost = c_ * static_cast<double>(path_cost(candidate));
+    if (cost < best_cost) {  // strict: minimal wins ties
+      best_cost = cost;
+      best_path = std::move(candidate);
+      best_intermediate_pos = via_pos;
+    }
+  }
+
+  Route r;
+  r.routers = std::move(best_path);
+  r.intermediate_pos = best_intermediate_pos;
+  assign_vcs(r, policy_);
+  return r;
+}
+
+int UgalGlobalRouting::num_vcs() const {
+  return policy_ == VcPolicy::kHopIndex ? 2 * table_.diameter() : 2;
+}
+
+}  // namespace d2net

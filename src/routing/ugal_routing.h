@@ -1,0 +1,50 @@
+// UGAL-L adaptive routing (paper Section 3.3).
+//
+// At injection the source router compares the cost of one minimal candidate
+// (CM = occupancy of its first output queue) against nI random indirect
+// candidates (CI_j = c * occupancy of that candidate's first output queue)
+// and picks the cheapest, preferring the minimal route on ties. Two knobs
+// from the paper:
+//   * SF length scaling (SF-A): c = cSF * L_I / L_M, the original UGAL cost
+//     ratio, because SF minimal routes are 1 or 2 hops long.
+//   * Threshold variant (x-ATh): route minimally whenever the minimal
+//     queue occupancy is below T (a fraction of the queue capacity).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "routing/minimal_table.h"
+#include "routing/routing_algorithm.h"
+
+namespace d2net {
+
+struct UgalParams {
+  int num_indirect = 4;      ///< nI: indirect candidates per decision
+  double c = 2.0;            ///< indirect-path cost penalty (cSF for the SF)
+  bool sf_length_scaling = false;  ///< c_eff = c * L_I / L_M (SF-A / SF-ATh)
+  double threshold = -1.0;   ///< T as a fraction of queue capacity; < 0 = off
+};
+
+class UgalRouting final : public RoutingAlgorithm {
+ public:
+  /// `table` and `loads` must outlive the algorithm.
+  UgalRouting(const MinimalTable& table, VcPolicy policy, std::vector<int> intermediates,
+              const UgalParams& params, const PortLoadProvider& loads, std::string name);
+
+  Route route(int src_router, int dst_router, Rng& rng) const override;
+  int num_vcs() const override;
+  std::string name() const override { return name_; }
+
+  const UgalParams& params() const { return params_; }
+
+ private:
+  const MinimalTable& table_;
+  VcPolicy policy_;
+  std::vector<int> intermediates_;
+  UgalParams params_;
+  const PortLoadProvider& loads_;
+  std::string name_;
+};
+
+}  // namespace d2net

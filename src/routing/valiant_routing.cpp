@@ -1,0 +1,56 @@
+#include "routing/valiant_routing.h"
+
+#include "common/error.h"
+#include "topology/topology.h"
+
+namespace d2net {
+
+std::vector<int> valiant_intermediates(const Topology& topo) {
+  switch (topo.kind()) {
+    case TopologyKind::kSlimFly:
+    case TopologyKind::kHyperX2D:
+    case TopologyKind::kDragonfly: {
+      std::vector<int> all(topo.num_routers());
+      for (int r = 0; r < topo.num_routers(); ++r) all[r] = r;
+      return all;
+    }
+    default:
+      // Indirect topologies: restrict to endpoint-attached routers so
+      // indirect routes are exactly two 2-hop segments (Section 3.2).
+      return topo.edge_routers();
+  }
+}
+
+ValiantRouting::ValiantRouting(const MinimalTable& table, VcPolicy policy,
+                               std::vector<int> intermediates)
+    : table_(table), policy_(policy), intermediates_(std::move(intermediates)) {
+  D2NET_REQUIRE(intermediates_.size() >= 3,
+                "Valiant needs at least three eligible intermediate routers");
+}
+
+Route ValiantRouting::make_indirect(const MinimalTable& table, VcPolicy policy, int src,
+                                    int via, int dst, Rng& rng) {
+  Route r;
+  r.routers = table.sample_path(src, via, rng);
+  r.intermediate_pos = static_cast<int>(r.routers.size()) - 1;
+  const std::vector<int> second = table.sample_path(via, dst, rng);
+  r.routers.insert(r.routers.end(), second.begin() + 1, second.end());
+  assign_vcs(r, policy);
+  return r;
+}
+
+Route ValiantRouting::route(int src_router, int dst_router, Rng& rng) const {
+  D2NET_REQUIRE(src_router != dst_router, "route() needs distinct routers");
+  // Draw an intermediate other than the source and destination routers.
+  int via;
+  do {
+    via = intermediates_[rng.next_below(intermediates_.size())];
+  } while (via == src_router || via == dst_router);
+  return make_indirect(table_, policy_, src_router, via, dst_router, rng);
+}
+
+int ValiantRouting::num_vcs() const {
+  return policy_ == VcPolicy::kHopIndex ? 2 * table_.diameter() : 2;
+}
+
+}  // namespace d2net

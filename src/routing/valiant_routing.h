@@ -1,0 +1,44 @@
+// Oblivious indirect random routing (paper Section 3.2): Valiant's scheme.
+// A packet is first routed minimally to a uniformly chosen intermediate
+// router, then minimally to its destination. For the SF every router is an
+// eligible intermediate (routes of 2-4 hops); for the MLFM and OFT only
+// endpoint-attached routers are eligible, which pins indirect routes to
+// exactly 4 hops and keeps load balancing effective (Section 3.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "routing/minimal_table.h"
+#include "routing/routing_algorithm.h"
+
+namespace d2net {
+
+class Topology;
+
+/// The intermediate-router set Valiant draws from for a given topology:
+/// all routers for direct topologies, endpoint-attached routers otherwise.
+std::vector<int> valiant_intermediates(const Topology& topo);
+
+class ValiantRouting final : public RoutingAlgorithm {
+ public:
+  /// `table` must outlive the algorithm; `intermediates` must be non-empty
+  /// beyond {src, dst} for every pair (guaranteed by the studied networks).
+  ValiantRouting(const MinimalTable& table, VcPolicy policy, std::vector<int> intermediates);
+
+  Route route(int src_router, int dst_router, Rng& rng) const override;
+  int num_vcs() const override;
+  std::string name() const override { return "INR"; }
+
+  /// Builds the concatenated two-segment route through `via`; shared with
+  /// UGAL's candidate construction.
+  static Route make_indirect(const MinimalTable& table, VcPolicy policy, int src, int via,
+                             int dst, Rng& rng);
+
+ private:
+  const MinimalTable& table_;
+  VcPolicy policy_;
+  std::vector<int> intermediates_;
+};
+
+}  // namespace d2net

@@ -1,0 +1,27 @@
+#include "common/error.h"
+#include "routing/routing_algorithm.h"
+
+namespace d2net {
+
+void assign_vcs(Route& route, VcPolicy policy) {
+  route.vcs.assign(route.routers.size() > 0 ? route.routers.size() - 1 : 0, 0);
+  switch (policy) {
+    case VcPolicy::kHopIndex:
+      for (std::size_t i = 0; i < route.vcs.size(); ++i) {
+        route.vcs[i] = static_cast<std::uint8_t>(i);
+      }
+      break;
+    case VcPolicy::kPhase:
+      if (route.intermediate_pos >= 0) {
+        // VC 0 while moving towards the intermediate destination, VC 1 on
+        // the second minimal segment (Section 3.4).
+        for (std::size_t i = 0; i < route.vcs.size(); ++i) {
+          route.vcs[i] = static_cast<std::uint8_t>(
+              static_cast<int>(i) >= route.intermediate_pos ? 1 : 0);
+        }
+      }
+      break;
+  }
+}
+
+}  // namespace d2net

@@ -1,0 +1,64 @@
+// Discrete-event core: a time-ordered queue with a deterministic FIFO
+// tie-break so identical seeds replay identical packet traces.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/units.h"
+
+namespace d2net {
+
+enum class EventType : std::uint8_t {
+  kGenerate,        ///< a = node: open-loop packet generation tick
+  kNicFree,         ///< a = node: injection link finished serializing
+  kArriveRouter,    ///< a = packet, b = router, c = in_port, d = vc
+  kHeadEligible,    ///< a = router, b = in_port, c = vc
+  kChannelFree,     ///< a = router, b = out_port
+  kCreditToRouter,  ///< a = router, b = out_port, c = vc, d = bytes
+  kCreditToNic,     ///< a = node, c = vc, d = bytes
+  kArriveNode,      ///< a = packet, b = node
+};
+
+struct Event {
+  TimePs time = 0;
+  std::uint64_t seq = 0;  ///< insertion order; breaks time ties FIFO
+  EventType type{};
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+  std::int32_t c = 0;
+  std::int32_t d = 0;
+};
+
+class EventQueue {
+ public:
+  void push(TimePs time, EventType type, std::int32_t a = 0, std::int32_t b = 0,
+            std::int32_t c = 0, std::int32_t d = 0) {
+    heap_.push(Event{time, next_seq_++, type, a, b, c, d});
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  Event pop() {
+    Event e = heap_.top();
+    heap_.pop();
+    return e;
+  }
+
+  TimePs next_time() const { return heap_.top().time; }
+
+ private:
+  struct Later {
+    bool operator()(const Event& x, const Event& y) const {
+      if (x.time != y.time) return x.time > y.time;
+      return x.seq > y.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace d2net

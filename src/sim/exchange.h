@@ -1,0 +1,67 @@
+// Exchange-workload construction (paper Section 4.4):
+//  * All-to-all: every process sends one message to every other process, in
+//    the staggered shifted order of Kumar et al. (process n sends phase i to
+//    (n + i) mod N), which spreads simultaneous traffic uniformly.
+//  * Nearest-neighbor: processes arranged in the largest 3-D torus that
+//    fits the machine; each sends one message to each of its 6 neighbors,
+//    interleaved round-robin. Ranks map contiguously onto nodes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/network.h"
+
+namespace d2net {
+
+/// Destination ordering of the all-to-all exchange.
+enum class A2aOrder {
+  /// Phase i: node n sends to (n + i) mod N — the classic staggered
+  /// schedule. While nodes stay synchronized each phase is a shift
+  /// permutation, which is adversarial for minimal routing on the SSPTs.
+  kStaggered,
+  /// Each node visits its destinations in an independent random order,
+  /// which spreads simultaneous traffic uniformly (the behavior the
+  /// optimized exchanges of Kumar et al. achieve); default for Fig. 13.
+  kShuffled,
+};
+
+/// The all-to-all plan: bytes_per_pair to each of the other N-1 nodes,
+/// sequential message order. `seed` only matters for kShuffled.
+ExchangePlan make_all_to_all_plan(int num_nodes, std::int64_t bytes_per_pair,
+                                  A2aOrder order = A2aOrder::kShuffled,
+                                  std::uint64_t seed = 1);
+
+/// Largest 3-D torus (a <= b <= c, all >= 2) with a*b*c <= num_nodes;
+/// maximizes the rank count, then minimizes the aspect spread c - a.
+std::array<int, 3> best_torus_dims(int num_nodes);
+
+/// The torus the paper embeds (Section 4.4), which exploits the topology's
+/// structure under the contiguous mapping:
+///  * MLFM: (p, h+1, l) — X stays inside a router, Y inside a layer, Z runs
+///    across a router column (15x16x15 for h=15; this alignment is what
+///    lets MLFM adaptive routing reach ~100% in Fig. 14).
+///  * OFT: X = k (inside a router) and the best factor pair of 2*RL for
+///    Y x Z (12x14x19 for k=12).
+///  * Others (incl. SF): the generic largest fit (13x13x18 / 13x13x20 for
+///    the two q=13 Slim Flys).
+/// Dimensions are returned in mapping order (X fastest), not sorted.
+std::array<int, 3> paper_torus_dims(const Topology& topo);
+
+/// Nearest-neighbor plan on the given torus: rank r = x + dims[0]*(y +
+/// dims[1]*z); each active rank sends bytes_per_neighbor to each of its 6
+/// torus neighbors (duplicates allowed when a dimension has size 2).
+/// `rank_to_node` maps ranks onto nodes — empty means the paper's
+/// contiguous mapping (rank r -> node r); nodes without a rank stay idle.
+ExchangePlan make_nearest_neighbor_plan(int num_nodes, const std::array<int, 3>& dims,
+                                        std::int64_t bytes_per_neighbor,
+                                        const std::vector<int>& rank_to_node = {});
+
+/// A uniformly random rank-to-node assignment for `ranks` ranks over
+/// `num_nodes` nodes — the anti-thesis of the contiguous mapping, used to
+/// quantify how much Fig. 14's results depend on placement.
+std::vector<int> random_rank_mapping(int num_nodes, int ranks, Rng& rng);
+
+}  // namespace d2net

@@ -1,0 +1,68 @@
+#include "sim/experiment.h"
+
+#include "common/error.h"
+
+namespace d2net {
+
+int num_vcs_needed(const Topology& topo, const MinimalTable& table, RoutingStrategy strategy) {
+  const bool hop_index = vc_policy_for(topo.kind()) == VcPolicy::kHopIndex;
+  const int minimal_vcs = hop_index ? std::max(1, table.diameter()) : 1;
+  if (strategy == RoutingStrategy::kMinimal) return minimal_vcs;
+  return hop_index ? 2 * minimal_vcs : 2;  // Valiant / UGAL-L / UGAL-G alike
+}
+
+SimStack::SimStack(const Topology& topo, RoutingStrategy strategy, const SimConfig& cfg,
+                   std::optional<UgalParams> params)
+    : topo_(topo),
+      table_(topo),
+      sim_(topo, cfg, num_vcs_needed(topo, table_, strategy)) {
+  algo_ = params.has_value() ? make_routing(topo_, table_, strategy, sim_, *params)
+                             : make_routing(topo_, table_, strategy, sim_);
+  sim_.set_routing(*algo_);
+}
+
+OpenLoopResult SimStack::run_open_loop(const TrafficPattern& pattern, double load,
+                                       TimePs duration, TimePs warmup) {
+  return sim_.run_open_loop(pattern, load, duration, warmup);
+}
+
+ExchangeResult SimStack::run_exchange(const ExchangePlan& plan, TimePs time_limit) {
+  return sim_.run_exchange(plan, time_limit);
+}
+
+std::vector<SweepPoint> run_load_sweep(SimStack& stack, const TrafficPattern& pattern,
+                                       const std::vector<double>& loads, TimePs duration,
+                                       TimePs warmup) {
+  std::vector<SweepPoint> out;
+  out.reserve(loads.size());
+  for (double load : loads) {
+    SweepPoint pt;
+    pt.offered = load;
+    pt.result = stack.run_open_loop(pattern, load, duration, warmup);
+    out.push_back(std::move(pt));
+  }
+  return out;
+}
+
+double saturation_point(const std::vector<SweepPoint>& sweep, double threshold) {
+  double sat = 0.0;
+  for (const SweepPoint& pt : sweep) {
+    if (pt.result.accepted_throughput >= threshold * pt.offered) {
+      sat = std::max(sat, pt.offered);
+    }
+  }
+  // If even the lowest load saturates, report its accepted throughput — the
+  // sustainable rate — rather than zero.
+  if (sat == 0.0 && !sweep.empty()) sat = sweep.front().result.accepted_throughput;
+  return sat;
+}
+
+std::vector<double> uniform_load_grid() {
+  return {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0};
+}
+
+std::vector<double> adversarial_load_grid() {
+  return {0.02, 0.04, 0.06, 0.08, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0};
+}
+
+}  // namespace d2net

@@ -1,0 +1,67 @@
+// Experiment orchestration: ties a topology to its minimal table, routing
+// algorithm, VC provisioning and a simulator instance, and provides the
+// load-sweep / exchange drivers the benches are built from.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "routing/factory.h"
+#include "routing/minimal_table.h"
+#include "sim/exchange.h"
+#include "sim/network.h"
+#include "sim/traffic.h"
+#include "topology/topology.h"
+
+namespace d2net {
+
+/// VCs a strategy needs on a given topology (Section 3.4): minimal routing
+/// uses hop-indexed VCs on the SF (2) and a single VC on the SSPTs;
+/// indirect/adaptive routing doubles both.
+int num_vcs_needed(const Topology& topo, const MinimalTable& table, RoutingStrategy strategy);
+
+/// Owns the full simulation stack for one (topology, routing) combination.
+/// The adaptive algorithms read the simulator's live queue state.
+class SimStack {
+ public:
+  SimStack(const Topology& topo, RoutingStrategy strategy, const SimConfig& cfg,
+           std::optional<UgalParams> params = std::nullopt);
+
+  OpenLoopResult run_open_loop(const TrafficPattern& pattern, double load, TimePs duration,
+                               TimePs warmup);
+  ExchangeResult run_exchange(const ExchangePlan& plan, TimePs time_limit);
+
+  const Topology& topology() const { return topo_; }
+  const MinimalTable& table() const { return table_; }
+  const RoutingAlgorithm& routing() const { return *algo_; }
+  NetworkSim& sim() { return sim_; }
+
+ private:
+  const Topology& topo_;
+  MinimalTable table_;
+  NetworkSim sim_;
+  std::unique_ptr<RoutingAlgorithm> algo_;
+};
+
+/// One row of a Fig. 6-12 style sweep.
+struct SweepPoint {
+  double offered = 0.0;
+  OpenLoopResult result;
+};
+
+/// Runs the open-loop simulation at each offered load.
+std::vector<SweepPoint> run_load_sweep(SimStack& stack, const TrafficPattern& pattern,
+                                       const std::vector<double>& loads, TimePs duration,
+                                       TimePs warmup);
+
+/// Offered load of the last point that still accepts >= `threshold` of its
+/// offered traffic — the "throughput saturation point" reported in Fig. 6.
+double saturation_point(const std::vector<SweepPoint>& sweep, double threshold = 0.95);
+
+/// Default load grids.
+std::vector<double> uniform_load_grid();     ///< coarse 0.1 .. 1.0
+std::vector<double> adversarial_load_grid(); ///< dense at low loads
+
+}  // namespace d2net

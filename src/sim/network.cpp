@@ -1,0 +1,495 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "sim/traffic.h"
+#include "topology/topology.h"
+
+namespace d2net {
+
+std::int64_t ExchangePlan::total_bytes() const {
+  std::int64_t total = 0;
+  for (const auto& msgs : per_node) {
+    for (const auto& m : msgs) total += m.bytes;
+  }
+  return total;
+}
+
+int ExchangePlan::active_nodes() const {
+  int n = 0;
+  for (const auto& msgs : per_node) n += msgs.empty() ? 0 : 1;
+  return n;
+}
+
+NetworkSim::NetworkSim(const Topology& topo, const SimConfig& cfg, int num_vcs)
+    : topo_(topo), cfg_(cfg), num_vcs_(num_vcs) {
+  D2NET_REQUIRE(topo.finalized(), "topology must be finalized");
+  D2NET_REQUIRE(num_vcs >= 1 && num_vcs <= 8, "unreasonable VC count");
+  vc_buffer_bytes_ = cfg_.buffer_bytes_per_port / num_vcs_;
+  D2NET_REQUIRE(vc_buffer_bytes_ >= cfg_.packet_bytes,
+                "per-VC buffer smaller than one packet");
+  // The VCT fast path assumes the whole packet is buffered by the time the
+  // router may forward it (eligibility = head + router latency).
+  D2NET_REQUIRE(!cfg_.cut_through || cfg_.router_latency >= cfg_.packet_serialization(),
+                "cut-through mode requires router latency >= packet serialization");
+
+  routers_.resize(topo.num_routers());
+  nics_.resize(topo.num_nodes());
+  for (int r = 0; r < topo.num_routers(); ++r) {
+    RouterState& rs = routers_[r];
+    const auto& nbrs = topo.neighbors(r);
+    const int deg = static_cast<int>(nbrs.size());
+    const int p = topo.endpoints_of(r);
+    rs.in_ports.resize(deg + p);
+    rs.out_ports.resize(deg + p);
+    for (int i = 0; i < deg; ++i) {
+      rs.port_of_neighbor.emplace_back(nbrs[i], i);
+    }
+    std::sort(rs.port_of_neighbor.begin(), rs.port_of_neighbor.end());
+    for (std::size_t i = 1; i < rs.port_of_neighbor.size(); ++i) {
+      D2NET_REQUIRE(rs.port_of_neighbor[i].first != rs.port_of_neighbor[i - 1].first,
+                    "parallel links are not supported by the simulator");
+    }
+    for (int j = 0; j < p; ++j) {
+      const int node = topo.node_base(r) + j;
+      nics_[node].router = r;
+      nics_[node].in_port = deg + j;
+    }
+  }
+  // Wire peer indices: out port i of router r toward neighbor n lands in
+  // n's in port that faces r.
+  for (int r = 0; r < topo.num_routers(); ++r) {
+    const auto& nbrs = topo.neighbors(r);
+    for (int i = 0; i < static_cast<int>(nbrs.size()); ++i) {
+      const int n = nbrs[i];
+      OutPort& op = routers_[r].out_ports[i];
+      op.to_node = false;
+      op.peer_router = n;
+      op.peer_in_port = out_port_toward(n, r);  // symmetric port numbering
+      InPort& ip = routers_[r].in_ports[i];
+      ip.from_node = false;
+      ip.peer_router = n;
+      ip.peer_out_port = out_port_toward(n, r);
+    }
+    const int deg = static_cast<int>(nbrs.size());
+    for (int j = 0; j < topo.endpoints_of(r); ++j) {
+      OutPort& op = routers_[r].out_ports[deg + j];
+      op.to_node = true;
+      op.peer_node = topo.node_base(r) + j;
+      InPort& ip = routers_[r].in_ports[deg + j];
+      ip.from_node = true;
+      ip.peer_node = topo.node_base(r) + j;
+    }
+  }
+  reset();
+}
+
+void NetworkSim::reset() {
+  for (RouterState& rs : routers_) {
+    const int num_out = static_cast<int>(rs.out_ports.size());
+    for (InPort& ip : rs.in_ports) {
+      ip.vcs.assign(num_vcs_, InVc{});
+      for (InVc& vc : ip.vcs) {
+        vc.voq.resize(num_out);
+        vc.in_ready.assign(num_out, 0);
+      }
+    }
+    for (OutPort& op : rs.out_ports) {
+      op.free_at = 0;
+      op.queued_bytes = 0;
+      op.bytes_sent_window = 0;
+      op.ready.clear();
+      op.credits.assign(op.to_node ? 0 : num_vcs_, vc_buffer_bytes_);
+    }
+  }
+  for (NicState& nic : nics_) {
+    nic.free_at = 0;
+    nic.credits.assign(num_vcs_, vc_buffer_bytes_);
+    nic.pending.clear();
+    nic.messages.clear();
+    nic.cursor = 0;
+  }
+  pool_ = PacketPool{};
+  queue_ = EventQueue{};
+  now_ = 0;
+  ejected_bytes_window_ = 0;
+  ejected_per_node_.assign(topo_.num_nodes(), 0);
+  packets_injected_ = 0;
+  packets_minimal_ = 0;
+  latency_ns_ = LogHistogram{};
+  hops_ = RunningStats{};
+  exchange_mode_ = false;
+  exchange_remaining_ = 0;
+  exchange_completion_ = -1;
+}
+
+int NetworkSim::out_port_toward(int router, int neighbor) const {
+  const auto& map = routers_[router].port_of_neighbor;
+  auto it = std::lower_bound(map.begin(), map.end(), std::make_pair(neighbor, -1));
+  D2NET_ASSERT(it != map.end() && it->first == neighbor, "no port toward neighbor");
+  return it->second;
+}
+
+int NetworkSim::out_port_for_packet(int router, const Packet& pkt) const {
+  if (pkt.at_destination_router()) {
+    const int deg = topo_.network_degree(router);
+    const int j = pkt.dst_node - topo_.node_base(router);
+    D2NET_ASSERT(j >= 0 && j < topo_.endpoints_of(router), "destination not on this router");
+    return deg + j;
+  }
+  return out_port_toward(router, pkt.route.routers[pkt.hop + 1]);
+}
+
+std::int64_t NetworkSim::output_queue_bytes(int router, int next_hop) const {
+  return routers_[router].out_ports[out_port_toward(router, next_hop)].queued_bytes;
+}
+
+std::int64_t NetworkSim::output_queue_capacity() const { return cfg_.buffer_bytes_per_port; }
+
+std::vector<NetworkSim::ChannelStats> NetworkSim::channel_stats() const {
+  std::vector<ChannelStats> out;
+  const double window_bytes =
+      static_cast<double>(window_end_ - window_start_) / static_cast<double>(cfg_.ps_per_byte);
+  for (int r = 0; r < topo_.num_routers(); ++r) {
+    const auto& nbrs = topo_.neighbors(r);
+    for (int i = 0; i < static_cast<int>(nbrs.size()); ++i) {
+      const OutPort& op = routers_[r].out_ports[i];
+      ChannelStats cs;
+      cs.router = r;
+      cs.neighbor = nbrs[i];
+      cs.bytes = op.bytes_sent_window;
+      cs.utilization =
+          window_bytes > 0 ? static_cast<double>(op.bytes_sent_window) / window_bytes : 0.0;
+      out.push_back(cs);
+    }
+  }
+  return out;
+}
+
+bool NetworkSim::start_injection(int node, int dst, int size, TimePs gen_time,
+                                 std::int64_t msg_id, TimePs now) {
+  NicState& nic = nics_[node];
+  const int src_router = nic.router;
+  const int dst_router = topo_.router_of_node(dst);
+
+  Route route;
+  if (dst_router == src_router) {
+    route.routers = {src_router};
+  } else {
+    route = routing_->route(src_router, dst_router, rng_);
+  }
+  const int vc0 = route.vcs.empty() ? 0 : route.vcs.front();
+  if (nic.credits[vc0] < size) return false;  // stall; retried on credit return
+
+  const int pkt_id = pool_.alloc();
+  Packet& pkt = pool_[pkt_id];
+  pkt.src_node = node;
+  pkt.dst_node = dst;
+  pkt.size = size;
+  pkt.gen_time = gen_time;
+  pkt.inject_time = now;
+  pkt.route = std::move(route);
+  pkt.hop = 0;
+  pkt.msg_id = msg_id;
+
+  nic.credits[vc0] -= size;
+  const TimePs ser = static_cast<TimePs>(size) * cfg_.ps_per_byte;
+  nic.free_at = now + ser;
+  queue_.push(nic.free_at, EventType::kNicFree, node);
+  // Cut-through: the router sees the packet when its head lands; the
+  // eligibility delay (router latency > serialization at these parameters)
+  // guarantees the tail is in the buffer before any forwarding decision.
+  const TimePs arrival_ser = cfg_.cut_through ? 0 : ser;
+  queue_.push(now + arrival_ser + cfg_.link_latency, EventType::kArriveRouter, pkt_id,
+              src_router, nic.in_port, vc0);
+  ++packets_injected_;
+  if (pkt.route.minimal()) ++packets_minimal_;
+  return true;
+}
+
+void NetworkSim::try_inject(int node, TimePs now) {
+  NicState& nic = nics_[node];
+  if (nic.free_at > now) return;  // kNicFree will retry
+
+  if (!nic.pending.empty()) {
+    // Open loop: destination drawn per packet at injection time.
+    const TimePs gen_time = nic.pending.front();
+    const int dst = pattern_->dest(node, rng_);
+    if (start_injection(node, dst, cfg_.packet_bytes, gen_time, -1, now)) {
+      nic.pending.pop_front();
+    }
+    return;
+  }
+
+  if (exchange_mode_ && !nic.messages.empty()) {
+    if (nic.cursor >= nic.messages.size()) nic.cursor = 0;
+    ExchangeMessage& m = nic.messages[nic.cursor];
+    const int chunk =
+        static_cast<int>(std::min<std::int64_t>(m.bytes, cfg_.packet_bytes));
+    if (!start_injection(node, m.dst_node, chunk, now, static_cast<std::int64_t>(nic.cursor),
+                         now)) {
+      return;
+    }
+    m.bytes -= chunk;
+    if (m.bytes == 0) {
+      nic.messages.erase(nic.messages.begin() + static_cast<std::ptrdiff_t>(nic.cursor));
+      if (nic.cursor >= nic.messages.size()) nic.cursor = 0;
+    } else if (plan_order_ == MessageOrder::kRoundRobin) {
+      // Round-robin interleaves open messages; sequential drains in order.
+      nic.cursor = (nic.cursor + 1) % nic.messages.size();
+    }
+  }
+}
+
+void NetworkSim::handle_arrive_router(int pkt_id, int router, int in_port, int vc,
+                                      TimePs now) {
+  RouterState& rs = routers_[router];
+  InVc& q = rs.in_ports[in_port].vcs[vc];
+  const Packet& pkt = pool_[pkt_id];
+  const int out_idx = out_port_for_packet(router, pkt);
+  rs.out_ports[out_idx].queued_bytes += pkt.size;
+  q.voq[out_idx].push_back({pkt_id, now + cfg_.router_latency});
+  if (q.voq[out_idx].size() == 1) {
+    queue_.push(now + cfg_.router_latency, EventType::kHeadEligible, router, in_port, vc,
+                out_idx);
+  }
+}
+
+void NetworkSim::handle_head_eligible(int router, int in_port, int vc, int out_idx,
+                                      TimePs now) {
+  RouterState& rs = routers_[router];
+  InVc& q = rs.in_ports[in_port].vcs[vc];
+  auto& fifo = q.voq[out_idx];
+  if (fifo.empty() || q.in_ready[out_idx]) {
+    return;  // stale event (head already granted and successor rescheduled)
+  }
+  if (fifo.front().eligible_at > now) {
+    // Defensive: never strand a head — re-arm at its eligibility time.
+    queue_.push(fifo.front().eligible_at, EventType::kHeadEligible, router, in_port, vc,
+                out_idx);
+    return;
+  }
+  q.in_ready[out_idx] = 1;
+  rs.out_ports[out_idx].ready.push_back({in_port, vc});
+  try_grant(router, out_idx, now);
+}
+
+void NetworkSim::try_grant(int router, int out_idx, TimePs now) {
+  RouterState& rs = routers_[router];
+  OutPort& out = rs.out_ports[out_idx];
+  if (out.free_at > now) return;  // kChannelFree retries
+
+  for (std::size_t i = 0; i < out.ready.size(); ++i) {
+    const ReadyEntry entry = out.ready[i];
+    InVc& q = rs.in_ports[entry.in_port].vcs[entry.vc];
+    auto& fifo = q.voq[out_idx];
+    D2NET_ASSERT(!fifo.empty() && q.in_ready[out_idx], "ready list out of sync");
+    const int pkt_id = fifo.front().pkt;
+    Packet& pkt = pool_[pkt_id];
+    int vc_next = 0;
+    if (!out.to_node) {
+      vc_next = pkt.vc_at_hop();
+      if (out.credits[vc_next] < pkt.size) continue;  // blocked on credit
+    }
+
+    // Grant: rotate the ready list so entries skipped or granted move back.
+    out.ready.erase(out.ready.begin() + static_cast<std::ptrdiff_t>(i));
+    std::rotate(out.ready.begin(), out.ready.begin() + static_cast<std::ptrdiff_t>(i),
+                out.ready.end());
+    q.in_ready[out_idx] = 0;
+    fifo.pop_front();
+    out.queued_bytes -= pkt.size;
+
+    const TimePs ser = static_cast<TimePs>(pkt.size) * cfg_.ps_per_byte;
+    out.free_at = now + ser;
+    if (now >= window_start_ && now <= window_end_) out.bytes_sent_window += pkt.size;
+    queue_.push(out.free_at, EventType::kChannelFree, router, out_idx);
+
+    // Return the freed input-buffer credit upstream.
+    const InPort& ip = rs.in_ports[entry.in_port];
+    if (ip.from_node) {
+      queue_.push(now + cfg_.link_latency, EventType::kCreditToNic, ip.peer_node, 0, entry.vc,
+                  pkt.size);
+    } else {
+      queue_.push(now + cfg_.link_latency, EventType::kCreditToRouter, ip.peer_router,
+                  ip.peer_out_port, entry.vc, pkt.size);
+    }
+
+    if (out.to_node) {
+      // Delivery completes when the tail reaches the NIC, regardless of
+      // forwarding mode.
+      queue_.push(now + ser + cfg_.link_latency, EventType::kArriveNode, pkt_id,
+                  out.peer_node);
+    } else {
+      out.credits[vc_next] -= pkt.size;
+      pkt.hop += 1;
+      const TimePs arrival_ser = cfg_.cut_through ? 0 : ser;
+      queue_.push(now + arrival_ser + cfg_.link_latency, EventType::kArriveRouter, pkt_id,
+                  out.peer_router, out.peer_in_port, vc_next);
+    }
+
+    // Wake the new head of the drained FIFO, if any.
+    if (!fifo.empty()) {
+      queue_.push(std::max(now, fifo.front().eligible_at), EventType::kHeadEligible, router,
+                  entry.in_port, entry.vc, out_idx);
+    }
+    return;
+  }
+}
+
+void NetworkSim::handle_arrive_node(int pkt_id, TimePs now) {
+  const Packet& pkt = pool_[pkt_id];
+  if (now >= window_start_ && now <= window_end_) {
+    ejected_bytes_window_ += pkt.size;
+    ejected_per_node_[pkt.dst_node] += pkt.size;
+    latency_ns_.add(static_cast<std::int64_t>(to_ns(now - pkt.gen_time)));
+    hops_.add(static_cast<double>(pkt.route.hops()));
+    if (trace_ != nullptr) {
+      trace_->record({pkt.src_node, pkt.dst_node, pkt.size, pkt.gen_time, pkt.inject_time,
+                      now, pkt.route.hops(), pkt.route.minimal()});
+    }
+  }
+  if (exchange_mode_) {
+    exchange_remaining_ -= pkt.size;
+    if (exchange_remaining_ == 0) exchange_completion_ = now;
+  }
+  pool_.release(pkt_id);
+}
+
+void NetworkSim::dispatch(const Event& e) {
+  switch (e.type) {
+    case EventType::kGenerate: {
+      if (e.time >= gen_end_) break;
+      nics_[e.a].pending.push_back(e.time);
+      try_inject(e.a, e.time);
+      // Poisson arrivals: exponential inter-arrival with mean pkt_time/load.
+      const double mean =
+          static_cast<double>(cfg_.packet_serialization()) / std::max(load_, 1e-9);
+      const double u = 1.0 - rng_.uniform();  // (0, 1]
+      const auto dt = static_cast<TimePs>(-std::log(u) * mean) + 1;
+      queue_.push(e.time + dt, EventType::kGenerate, e.a);
+      break;
+    }
+    case EventType::kNicFree:
+      try_inject(e.a, e.time);
+      break;
+    case EventType::kArriveRouter:
+      handle_arrive_router(e.a, e.b, e.c, e.d, e.time);
+      break;
+    case EventType::kHeadEligible:
+      handle_head_eligible(e.a, e.b, e.c, e.d, e.time);
+      break;
+    case EventType::kChannelFree:
+      try_grant(e.a, e.b, e.time);
+      break;
+    case EventType::kCreditToRouter:
+      routers_[e.a].out_ports[e.b].credits[e.c] += e.d;
+      try_grant(e.a, e.b, e.time);
+      break;
+    case EventType::kCreditToNic:
+      nics_[e.a].credits[e.c] += e.d;
+      try_inject(e.a, e.time);
+      break;
+    case EventType::kArriveNode:
+      handle_arrive_node(e.a, e.time);
+      break;
+  }
+}
+
+void NetworkSim::run_until(TimePs end) {
+  while (!queue_.empty()) {
+    if (queue_.next_time() > end) break;
+    if (exchange_mode_ && exchange_remaining_ == 0) break;
+    const Event e = queue_.pop();
+    now_ = e.time;
+    dispatch(e);
+  }
+}
+
+OpenLoopResult NetworkSim::run_open_loop(const TrafficPattern& pattern, double load,
+                                         TimePs duration, TimePs warmup) {
+  D2NET_REQUIRE(routing_ != nullptr, "set_routing() before running");
+  D2NET_REQUIRE(load > 0.0 && load <= 1.001, "load must be in (0, 1]");
+  D2NET_REQUIRE(warmup < duration, "warmup must precede the end of the run");
+  reset();
+  rng_.reseed(cfg_.seed);
+  pattern_ = &pattern;
+  load_ = load;
+  gen_end_ = duration;
+  window_start_ = warmup;
+  window_end_ = duration;
+
+  // Stagger first generations uniformly over one mean inter-arrival.
+  const double mean = static_cast<double>(cfg_.packet_serialization()) / load;
+  for (int node = 0; node < topo_.num_nodes(); ++node) {
+    queue_.push(static_cast<TimePs>(rng_.uniform() * mean), EventType::kGenerate, node);
+  }
+  run_until(duration);
+
+  OpenLoopResult res;
+  res.offered_load = load;
+  const double window_ps = static_cast<double>(window_end_ - window_start_);
+  const double capacity_bytes =
+      window_ps / static_cast<double>(cfg_.ps_per_byte) * topo_.num_nodes();
+  res.accepted_throughput = static_cast<double>(ejected_bytes_window_) / capacity_bytes;
+  res.avg_latency_ns = latency_ns_.mean();
+  res.p50_latency_ns = latency_ns_.percentile(50);
+  res.p99_latency_ns = latency_ns_.percentile(99);
+  res.packets_measured = latency_ns_.count();
+  res.packets_injected = packets_injected_;
+  res.avg_hops = hops_.mean();
+  res.fraction_minimal =
+      packets_injected_ > 0
+          ? static_cast<double>(packets_minimal_) / static_cast<double>(packets_injected_)
+          : 0.0;
+  // Jain index over per-node ejected bytes: (sum x)^2 / (n * sum x^2).
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (std::int64_t x : ejected_per_node_) {
+    sum += static_cast<double>(x);
+    sum_sq += static_cast<double>(x) * static_cast<double>(x);
+  }
+  res.jain_fairness =
+      sum_sq > 0.0 ? sum * sum / (static_cast<double>(ejected_per_node_.size()) * sum_sq)
+                   : 0.0;
+  return res;
+}
+
+ExchangeResult NetworkSim::run_exchange(const ExchangePlan& plan, TimePs time_limit) {
+  D2NET_REQUIRE(routing_ != nullptr, "set_routing() before running");
+  D2NET_REQUIRE(static_cast<int>(plan.per_node.size()) == topo_.num_nodes(),
+                "plan arity must match node count");
+  reset();
+  rng_.reseed(cfg_.seed);
+  exchange_mode_ = true;
+  plan_order_ = plan.order;
+  window_start_ = 0;
+  window_end_ = time_limit;
+  gen_end_ = 0;
+
+  exchange_remaining_ = plan.total_bytes();
+  D2NET_REQUIRE(exchange_remaining_ > 0, "empty exchange plan");
+  for (int node = 0; node < topo_.num_nodes(); ++node) {
+    nics_[node].messages = plan.per_node[node];
+    queue_.push(0, EventType::kNicFree, node);
+  }
+  run_until(time_limit);
+
+  ExchangeResult res;
+  res.total_bytes = plan.total_bytes();
+  res.completed = exchange_completion_ >= 0;
+  if (res.completed) {
+    res.completion_us = to_us(exchange_completion_);
+    const double per_node_bytes =
+        static_cast<double>(res.total_bytes) / std::max(1, plan.active_nodes());
+    const double line_bytes =
+        static_cast<double>(exchange_completion_) / static_cast<double>(cfg_.ps_per_byte);
+    res.effective_throughput = per_node_bytes / line_bytes;
+  }
+  res.avg_latency_ns = latency_ns_.mean();
+  return res;
+}
+
+}  // namespace d2net

@@ -1,0 +1,59 @@
+// Packet representation and pool. Routes are computed once at injection and
+// travel with the packet (source routing, Section 3.3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "routing/route.h"
+
+namespace d2net {
+
+struct Packet {
+  int src_node = -1;
+  int dst_node = -1;
+  int size = 0;  ///< bytes
+  TimePs gen_time = 0;     ///< when the workload created it
+  TimePs inject_time = 0;  ///< when the NIC started serializing it
+  Route route;
+  int hop = 0;  ///< index of the router the packet currently occupies
+  std::int64_t msg_id = -1;  ///< exchange-workload message id, -1 for synthetic
+
+  /// Next-hop VC used when traversing `hop -> hop + 1`.
+  int vc_at_hop() const { return route.vcs.empty() ? 0 : route.vcs[hop]; }
+  bool at_destination_router() const {
+    return hop == static_cast<int>(route.routers.size()) - 1;
+  }
+};
+
+/// Index-based free-list pool: packet ids stay valid across vector growth.
+class PacketPool {
+ public:
+  int alloc() {
+    if (!free_.empty()) {
+      const int id = free_.back();
+      free_.pop_back();
+      return id;
+    }
+    packets_.emplace_back();
+    return static_cast<int>(packets_.size()) - 1;
+  }
+
+  void release(int id) {
+    packets_[id] = Packet{};
+    free_.push_back(id);
+  }
+
+  Packet& operator[](int id) { return packets_[id]; }
+  const Packet& operator[](int id) const { return packets_[id]; }
+  std::size_t capacity() const { return packets_.size(); }
+  std::size_t in_use() const { return packets_.size() - free_.size(); }
+
+ private:
+  std::vector<Packet> packets_;
+  std::vector<int> free_;
+};
+
+}  // namespace d2net

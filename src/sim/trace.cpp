@@ -1,0 +1,16 @@
+#include "sim/trace.h"
+
+#include <ostream>
+
+namespace d2net {
+
+void PacketTraceSink::write_csv(std::ostream& os) const {
+  os << "src_node,dst_node,size,gen_ns,inject_ns,eject_ns,latency_ns,hops,minimal\n";
+  for (const PacketTraceEntry& e : entries_) {
+    os << e.src_node << ',' << e.dst_node << ',' << e.size << ',' << to_ns(e.gen_time) << ','
+       << to_ns(e.inject_time) << ',' << to_ns(e.eject_time) << ','
+       << to_ns(e.total_latency()) << ',' << e.hops << ',' << (e.minimal ? 1 : 0) << '\n';
+  }
+}
+
+}  // namespace d2net

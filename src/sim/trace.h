@@ -1,0 +1,61 @@
+// Optional per-packet tracing: when a sink is attached to a NetworkSim,
+// every delivered packet is recorded (source, destination, generation /
+// injection / delivery times, hop count, minimal-vs-indirect). Useful for
+// debugging routing decisions and for latency-breakdown analysis outside
+// the built-in histograms.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/units.h"
+
+namespace d2net {
+
+struct PacketTraceEntry {
+  int src_node = -1;
+  int dst_node = -1;
+  int size = 0;
+  TimePs gen_time = 0;
+  TimePs inject_time = 0;
+  TimePs eject_time = 0;
+  int hops = 0;
+  bool minimal = true;
+
+  TimePs total_latency() const { return eject_time - gen_time; }
+  TimePs queueing_delay() const { return inject_time - gen_time; }
+};
+
+/// Bounded in-memory sink; recording stops silently once `capacity`
+/// entries are held (the count of dropped records is kept).
+class PacketTraceSink {
+ public:
+  explicit PacketTraceSink(std::size_t capacity = 1 << 20) : capacity_(capacity) {}
+
+  void record(const PacketTraceEntry& entry) {
+    if (entries_.size() < capacity_) {
+      entries_.push_back(entry);
+    } else {
+      ++dropped_;
+    }
+  }
+
+  void clear() {
+    entries_.clear();
+    dropped_ = 0;
+  }
+
+  const std::vector<PacketTraceEntry>& entries() const { return entries_; }
+  std::int64_t dropped() const { return dropped_; }
+
+  /// CSV with a header row; times in nanoseconds.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<PacketTraceEntry> entries_;
+  std::int64_t dropped_ = 0;
+};
+
+}  // namespace d2net

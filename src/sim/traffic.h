@@ -1,0 +1,70 @@
+// Synthetic traffic patterns (paper Sections 4.2 and 4.3): global uniform
+// random, node-shift permutations, and the per-topology worst-case
+// adversarial permutations of Section 4.2.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace d2net {
+
+class Topology;
+class MinimalTable;
+
+/// Chooses a destination node for each generated packet.
+class TrafficPattern {
+ public:
+  virtual ~TrafficPattern() = default;
+  /// Destination node for a packet from src_node; must not equal src_node.
+  virtual int dest(int src_node, Rng& rng) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Uniform random over all other nodes.
+class UniformTraffic final : public TrafficPattern {
+ public:
+  explicit UniformTraffic(int num_nodes);
+  int dest(int src_node, Rng& rng) const override;
+  std::string name() const override { return "uniform"; }
+
+ private:
+  int num_nodes_;
+};
+
+/// Fixed permutation traffic (adversarial patterns are instances of this).
+class PermutationTraffic final : public TrafficPattern {
+ public:
+  PermutationTraffic(std::vector<int> dest_of, std::string name);
+  int dest(int src_node, Rng& rng) const override;
+  std::string name() const override { return name_; }
+  const std::vector<int>& permutation() const { return dest_of_; }
+
+ private:
+  std::vector<int> dest_of_;
+  std::string name_;
+};
+
+/// dest = (src + shift) mod N. With shift == p this shifts traffic by one
+/// router — the MLFM/OFT worst case of Section 4.2.
+std::unique_ptr<PermutationTraffic> make_node_shift(int num_nodes, int shift);
+
+/// Uniformly random fixed permutation without fixed points (each node gets
+/// a distinct partner). Representative of unlucky-but-not-adversarial
+/// job placements.
+std::unique_ptr<PermutationTraffic> make_random_permutation(int num_nodes, Rng& rng);
+
+/// The topology-specific worst-case permutation of Section 4.2:
+///  * SF: greedy pairing of routers communicating at distance 2 with
+///    overlapping minimal routes (Fig. 5) — the shared link carries 2p
+///    flows, capping throughput at 1/2p.
+///  * MLFM: node shift by p (router shift by one, crossing columns): the
+///    single minimal path carries h flows -> 1/h.
+///  * OFT: node shift by p (router shift by one, never the symmetric
+///    counterpart): k flows on one path -> 1/k.
+std::unique_ptr<PermutationTraffic> make_worst_case(const Topology& topo,
+                                                    const MinimalTable& table, Rng& rng);
+
+}  // namespace d2net

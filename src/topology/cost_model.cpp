@@ -1,0 +1,139 @@
+#include "topology/cost_model.h"
+
+#include "common/error.h"
+#include "gf/galois_field.h"
+#include "topology/oft.h"
+#include "topology/slim_fly.h"
+
+namespace d2net {
+namespace {
+
+TopologyCostPoint make_point(std::string family, std::string config, int radix, int nodes,
+                             int routers, std::int64_t net_links, std::int64_t ports,
+                             int diam) {
+  TopologyCostPoint p;
+  p.family = std::move(family);
+  p.config = std::move(config);
+  p.router_radix = radix;
+  p.num_nodes = nodes;
+  p.num_routers = routers;
+  p.links_per_node = static_cast<double>(net_links + nodes) / nodes;
+  p.ports_per_node = static_cast<double>(ports) / nodes;
+  p.diameter = diam;
+  return p;
+}
+
+}  // namespace
+
+std::optional<TopologyCostPoint> best_slim_fly(int r, bool ceil_p) {
+  std::optional<TopologyCostPoint> best;
+  for (int q = 4; q <= 2 * r; ++q) {
+    if (!GaloisField::is_prime_power(q) || q % 4 == 2) continue;
+    const SlimFlyShape s = slim_fly_shape(q);
+    const int p = ceil_p ? (s.network_radix + 1) / 2 : s.network_radix / 2;
+    const int radix = s.network_radix + p;
+    if (radix > r) continue;
+    const int routers = s.num_routers;
+    const int nodes = p * routers;
+    const std::int64_t net_links = static_cast<std::int64_t>(s.network_radix) * routers / 2;
+    const std::int64_t ports = static_cast<std::int64_t>(radix) * routers;
+    if (!best || nodes > best->num_nodes) {
+      best = make_point(ceil_p ? "SF(ceil)" : "SF(floor)", "q=" + std::to_string(q), radix,
+                        nodes, routers, net_links, ports, 2);
+    }
+  }
+  return best;
+}
+
+std::optional<TopologyCostPoint> best_mlfm(int r) {
+  const int h = r / 2;
+  if (h < 2) return std::nullopt;
+  const int routers = h * (h + 1) + h * (h + 1) / 2;  // LRs + GRs
+  const int nodes = h * h * (h + 1);
+  // LR links up: h per LR; equivalently GR degree 2h summed over GRs / 2... each
+  // GR has 2 links per layer * h layers = 2h; total = GRs * 2h / 1, each link
+  // counted once from the GR side.
+  const std::int64_t net_links = static_cast<std::int64_t>(h) * (h + 1) / 2 * 2 * h;
+  const std::int64_t ports = 2 * net_links + nodes;
+  return make_point("MLFM", "h=" + std::to_string(h), 2 * h, nodes, routers, net_links, ports,
+                    2);
+}
+
+std::optional<TopologyCostPoint> best_oft(int r) {
+  for (int k = r / 2; k >= 2; --k) {
+    if (!GaloisField::is_prime_power(k - 1)) continue;
+    const int rl = oft_routers_per_level(k);
+    const int routers = 3 * rl;
+    const int nodes = 2 * k * rl;
+    const std::int64_t net_links = static_cast<std::int64_t>(2) * k * rl;  // k up-links per L0+L2 router
+    const std::int64_t ports = 2 * net_links + nodes;
+    return make_point("OFT", "k=" + std::to_string(k), 2 * k, nodes, routers, net_links, ports,
+                      2);
+  }
+  return std::nullopt;
+}
+
+std::optional<TopologyCostPoint> best_hyperx2d(int r) {
+  const int third = r / 3;
+  if (third < 1) return std::nullopt;
+  const int s = third + 1;
+  const int routers = s * s;
+  const int nodes = third * routers;
+  // Each router: (s-1) row + (s-1) col network links.
+  const std::int64_t net_links = static_cast<std::int64_t>(routers) * 2 * (s - 1) / 2;
+  const std::int64_t ports = static_cast<std::int64_t>(routers) * (2 * (s - 1)) + nodes;
+  return make_point("HyperX2D", std::to_string(s) + "x" + std::to_string(s), 3 * third, nodes,
+                    routers, net_links, ports, 2);
+}
+
+std::optional<TopologyCostPoint> best_dragonfly(int r) {
+  const int p = (r + 1) / 4;
+  if (p < 1) return std::nullopt;
+  const int a = 2 * p;
+  const int h = p;
+  const int groups = a * h + 1;
+  const int routers = groups * a;
+  const int nodes = routers * p;
+  const std::int64_t net_links =
+      static_cast<std::int64_t>(groups) * a * (a - 1) / 2 +
+      static_cast<std::int64_t>(groups) * a * h / 2;
+  const std::int64_t ports = static_cast<std::int64_t>(routers) * (p + a - 1 + h);
+  return make_point("Dragonfly", "p=" + std::to_string(p), 4 * p - 1, nodes, routers,
+                    net_links, ports, 3);
+}
+
+std::optional<TopologyCostPoint> best_fat_tree2(int r) {
+  const int r2 = r - (r % 2);
+  if (r2 < 2) return std::nullopt;
+  const int half = r2 / 2;
+  const int nodes = r2 * half;
+  const int routers = r2 + half;
+  const std::int64_t net_links = static_cast<std::int64_t>(r2) * half;
+  const std::int64_t ports = 2 * net_links + nodes;
+  return make_point("FT2", "r=" + std::to_string(r2), r2, nodes, routers, net_links, ports, 2);
+}
+
+std::optional<TopologyCostPoint> best_fat_tree3(int r) {
+  const int r2 = r - (r % 2);
+  if (r2 < 2) return std::nullopt;
+  const int half = r2 / 2;
+  const int nodes = r2 * half * half;
+  const int routers = 2 * r2 * half + half * half;
+  // leaf-agg: r2 pods * half * half; agg-core: same count.
+  const std::int64_t net_links = 2LL * r2 * half * half;
+  const std::int64_t ports = 2 * net_links + nodes;
+  return make_point("FT3", "r=" + std::to_string(r2), r2, nodes, routers, net_links, ports, 4);
+}
+
+std::vector<TopologyCostPoint> max_scale_at_radix(int r) {
+  D2NET_REQUIRE(r >= 2, "radix must be >= 2");
+  std::vector<TopologyCostPoint> out;
+  for (auto& pt : {best_hyperx2d(r), best_slim_fly(r, false), best_slim_fly(r, true),
+                   best_fat_tree2(r), best_fat_tree3(r), best_mlfm(r), best_oft(r),
+                   best_dragonfly(r)}) {
+    if (pt) out.push_back(*pt);
+  }
+  return out;
+}
+
+}  // namespace d2net

@@ -1,0 +1,46 @@
+// Analytic scalability / cost model behind the paper's Fig. 3: for a given
+// router radix r, the largest endpoint count each topology family reaches,
+// plus links- and ports-per-endpoint. Exact feasible configurations are
+// searched (prime powers for SF, prime-power k-1 for OFT, ...), matching
+// how a system architect would instantiate the families.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace d2net {
+
+/// One row of the Fig. 3 comparison for a specific feasible configuration.
+struct TopologyCostPoint {
+  std::string family;     ///< "SF", "MLFM", "OFT", "HyperX2D", "FT2", "FT3"
+  std::string config;     ///< e.g. "q=13", "h=15", "k=12"
+  int router_radix = 0;   ///< r actually used (<= the budget radix)
+  int num_nodes = 0;      ///< N
+  int num_routers = 0;    ///< R
+  double links_per_node = 0.0;
+  double ports_per_node = 0.0;
+  int diameter = 0;
+};
+
+/// Largest feasible configuration of each family with router radix <= r.
+/// Returns one point per family (families with no feasible configuration at
+/// this radix are omitted).
+std::vector<TopologyCostPoint> max_scale_at_radix(int r);
+
+/// Individual family searches, exposed for tests. Each returns the largest
+/// feasible configuration with router radix <= r, or nullopt.
+std::optional<TopologyCostPoint> best_slim_fly(int r, bool ceil_p);
+std::optional<TopologyCostPoint> best_mlfm(int r);
+std::optional<TopologyCostPoint> best_oft(int r);
+std::optional<TopologyCostPoint> best_hyperx2d(int r);
+std::optional<TopologyCostPoint> best_dragonfly(int r);
+std::optional<TopologyCostPoint> best_fat_tree2(int r);
+std::optional<TopologyCostPoint> best_fat_tree3(int r);
+
+/// Moore bound for diameter-2 graphs of degree d: d^2 + 1 routers.
+inline std::int64_t moore_bound_d2(int degree) {
+  return static_cast<std::int64_t>(degree) * degree + 1;
+}
+
+}  // namespace d2net

@@ -1,0 +1,83 @@
+#include "topology/degrade.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.h"
+
+namespace d2net {
+namespace {
+
+/// Connectivity check over an edge list.
+bool connected_graph(int num_routers, const std::vector<Link>& links) {
+  if (num_routers == 0) return false;
+  std::vector<std::vector<int>> adj(num_routers);
+  for (const Link& l : links) {
+    adj[l.r1].push_back(l.r2);
+    adj[l.r2].push_back(l.r1);
+  }
+  std::vector<bool> seen(num_routers, false);
+  std::queue<int> q;
+  q.push(0);
+  seen[0] = true;
+  int visited = 0;
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    ++visited;
+    for (int v : adj[u]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        q.push(v);
+      }
+    }
+  }
+  return visited == num_routers;
+}
+
+}  // namespace
+
+DegradeResult remove_random_links(const Topology& topo, int count, Rng& rng,
+                                  bool keep_connected) {
+  D2NET_REQUIRE(topo.finalized(), "topology must be finalized");
+  D2NET_REQUIRE(count >= 0 && count < topo.num_links(),
+                "cannot remove that many links");
+
+  std::vector<Link> remaining(topo.links().begin(), topo.links().end());
+  std::vector<Link> removed;
+  std::vector<std::size_t> order(remaining.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+
+  std::vector<bool> drop(remaining.size(), false);
+  int dropped = 0;
+  for (std::size_t idx : order) {
+    if (dropped == count) break;
+    drop[idx] = true;
+    if (keep_connected) {
+      std::vector<Link> trial;
+      trial.reserve(remaining.size() - dropped - 1);
+      for (std::size_t i = 0; i < remaining.size(); ++i) {
+        if (!drop[i]) trial.push_back(remaining[i]);
+      }
+      if (!connected_graph(topo.num_routers(), trial)) {
+        drop[idx] = false;  // would disconnect; skip this candidate
+        continue;
+      }
+    }
+    removed.push_back(remaining[idx]);
+    ++dropped;
+  }
+
+  Topology out(topo.name() + "-deg" + std::to_string(dropped), topo.kind());
+  for (int r = 0; r < topo.num_routers(); ++r) {
+    out.add_router(topo.info(r), topo.endpoints_of(r));
+  }
+  for (std::size_t i = 0; i < remaining.size(); ++i) {
+    if (!drop[i]) out.add_link(remaining[i].r1, remaining[i].r2);
+  }
+  out.finalize();
+  return DegradeResult{std::move(out), std::move(removed)};
+}
+
+}  // namespace d2net

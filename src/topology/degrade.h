@@ -1,0 +1,29 @@
+// Fault injection: derive a degraded copy of a topology with a subset of
+// its router-to-router links removed, for resilience studies. Low-diameter
+// networks trade path diversity for scale, so even a few failed links can
+// stretch the diameter and shift worst-case saturation — the degradation
+// bench quantifies that.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "topology/topology.h"
+
+namespace d2net {
+
+struct DegradeResult {
+  Topology topo;
+  std::vector<Link> removed;
+};
+
+/// Removes `count` uniformly chosen router-to-router links. When
+/// `keep_connected` is set, candidate removals that would disconnect the
+/// router graph are skipped (the result may then contain fewer removals
+/// than requested). Endpoint attachments are never touched. The degraded
+/// topology keeps the original's node numbering and kind (so routing
+/// policies still apply), with "-deg<count>" appended to the name.
+DegradeResult remove_random_links(const Topology& topo, int count, Rng& rng,
+                                  bool keep_connected = true);
+
+}  // namespace d2net

@@ -1,0 +1,28 @@
+// Dragonfly (Kim, Dally, Scott & Abts, ISCA'08) — the most widely deployed
+// cost-reduced topology (PERCS, Cray Cascade) that the paper's introduction
+// positions the diameter-two designs against. Included as a baseline
+// comparator: diameter 3 (local-global-local), cost close to but not
+// matching the 2-links/3-ports budget of the diameter-two designs.
+//
+// Structure: g groups of `a` routers; routers within a group form a full
+// mesh; each router has h global links; every pair of groups is joined by
+// (at least) one global link. The balanced configuration of the original
+// paper uses a = 2p = 2h and g = a*h + 1 groups.
+#pragma once
+
+#include "topology/topology.h"
+
+namespace d2net {
+
+/// Builds a Dragonfly with `a` routers per group, `h` global links per
+/// router, `p` endpoints per router, and g = a*h + 1 groups (the maximal
+/// single-link-per-group-pair arrangement). Global link g of router r in
+/// group G connects toward group (G + 1 + r*h + g) mod num_groups, the
+/// standard "consecutive" arrangement.
+Topology build_dragonfly(int a, int h, int p);
+
+/// Balanced Dragonfly for router radix r (= p + a - 1 + h with a = 2p,
+/// h = p): requires (r + 1) % 4 == 0, p = (r + 1) / 4.
+Topology build_dragonfly_balanced(int r);
+
+}  // namespace d2net

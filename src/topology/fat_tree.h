@@ -1,0 +1,21 @@
+// Fat-Tree reference topologies (Section 2.2.1 and Fig. 3).
+//
+// * Two-level full-bisection Fat-Tree with uniform router radix r:
+//   r leaf routers (r/2 endpoints + r/2 uplinks each) and r/2 spine routers
+//   (radix r); N = r^2 / 2, diameter 2.
+// * Three-level folded Clos ("fat-tree" in the Al-Fares sense) with uniform
+//   radix r: r pods of r/2 leaf + r/2 aggregation routers plus (r/2)^2 core
+//   routers; N = r^3 / 4, diameter 4. Used as the cost/scale baseline.
+#pragma once
+
+#include "topology/topology.h"
+
+namespace d2net {
+
+/// Two-level full-bisection Fat-Tree of even router radix r.
+Topology build_fat_tree2(int r);
+
+/// Three-level full-bisection folded Clos of even router radix r.
+Topology build_fat_tree3(int r);
+
+}  // namespace d2net

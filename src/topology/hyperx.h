@@ -1,0 +1,20 @@
+// Two-dimensional HyperX / Generalized Hypercube (Ahn et al. SC'09;
+// Bhuyan & Agrawal 1984), Section 2.1.1 of the paper.
+//
+// Routers form an s1 x s2 grid; each router is fully connected to every
+// other router in its row and in its column, giving diameter two. The
+// balanced configuration with router radix r uses s1 = s2 = r/3 + 1 and
+// p = r/3 endpoints per router.
+#pragma once
+
+#include "topology/topology.h"
+
+namespace d2net {
+
+/// Builds the s1 x s2 HyperX with p endpoints per router.
+Topology build_hyperx2d(int s1, int s2, int p);
+
+/// Builds the balanced 2-D HyperX for router radix r (r divisible by 3).
+Topology build_hyperx2d_balanced(int r);
+
+}  // namespace d2net

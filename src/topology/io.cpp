@@ -1,0 +1,48 @@
+#include "topology/io.h"
+
+#include <ostream>
+
+#include "common/error.h"
+#include "topology/topology.h"
+
+namespace d2net {
+namespace {
+
+const char* level_color(int level) {
+  switch (level & 3) {
+    case 0: return "lightblue";
+    case 1: return "lightsalmon";
+    case 2: return "palegreen";
+    default: return "plum";
+  }
+}
+
+}  // namespace
+
+void write_dot(const Topology& topo, std::ostream& os) {
+  D2NET_REQUIRE(topo.finalized(), "topology must be finalized");
+  os << "graph \"" << topo.name() << "\" {\n"
+     << "  layout=neato;\n  node [style=filled, shape=circle, fontsize=9];\n";
+  for (int r = 0; r < topo.num_routers(); ++r) {
+    os << "  r" << r << " [label=\"r" << r << "/p" << topo.endpoints_of(r) << "\", fillcolor="
+       << level_color(topo.info(r).level) << "];\n";
+  }
+  for (const Link& l : topo.links()) {
+    os << "  r" << l.r1 << " -- r" << l.r2 << ";\n";
+  }
+  os << "}\n";
+}
+
+void write_edge_list(const Topology& topo, std::ostream& os) {
+  D2NET_REQUIRE(topo.finalized(), "topology must be finalized");
+  os << "# d2net " << topo.name() << " routers=" << topo.num_routers()
+     << " nodes=" << topo.num_nodes() << "\n";
+  for (int r = 0; r < topo.num_routers(); ++r) {
+    os << "v " << r << ' ' << topo.endpoints_of(r) << ' ' << topo.info(r).level << "\n";
+  }
+  for (const Link& l : topo.links()) {
+    os << "e " << l.r1 << ' ' << l.r2 << "\n";
+  }
+}
+
+}  // namespace d2net

@@ -1,0 +1,23 @@
+// Export helpers: Graphviz DOT and a plain edge list, so topologies can be
+// inspected with standard tooling or fed to external analyzers.
+#pragma once
+
+#include <iosfwd>
+
+namespace d2net {
+
+class Topology;
+
+/// Writes the router graph as Graphviz DOT. Routers are labelled
+/// "r<id>/p<endpoints>" and colored by their RouterInfo level (subgraph /
+/// LR-GR / OFT level), which makes the structural families visible at a
+/// glance.
+void write_dot(const Topology& topo, std::ostream& os);
+
+/// Writes a self-describing edge list:
+///   # d2net <name> routers=<R> nodes=<N>
+///   v <router> <endpoints> <level>
+///   e <r1> <r2>
+void write_edge_list(const Topology& topo, std::ostream& os);
+
+}  // namespace d2net

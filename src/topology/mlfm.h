@@ -1,0 +1,28 @@
+// Multi-Layer Full-Mesh (Fujitsu 2014; Kathareios et al. SC'15,
+// Section 2.2.3) — the r2 = 2 instance of the Stacked Single-Path Tree
+// class.
+//
+// The (h, l, p)-MLFM has l layers of h+1 local routers (LRs), each hosting
+// p endpoints. The direct link of every full-mesh LR pair (i, j) is replaced
+// by a global router (GR) shared by all layers: GR_{i,j} connects to LR i
+// and LR j of every layer, so there are h(h+1)/2 GRs of radix 2l and the LR
+// radix is h + p. The balanced single-radix configuration used throughout
+// the paper is h = l = p (the "h-MLFM", router radix 2h, N = h^3 + h^2).
+#pragma once
+
+#include "topology/topology.h"
+
+namespace d2net {
+
+/// Builds the (h, l, p)-MLFM. Router ids: LRs first in layer-major order
+/// (id = layer * (h+1) + index, matching the paper's contiguous node
+/// mapping), then GRs in pair order (i < j).
+Topology build_mlfm(int h, int l, int p);
+
+/// Builds the balanced h-MLFM (h = l = p).
+Topology build_mlfm(int h);
+
+/// Local-router id for (layer, index); exposed for tests and traffic code.
+inline int mlfm_lr_id(int h, int layer, int index) { return layer * (h + 1) + index; }
+
+}  // namespace d2net

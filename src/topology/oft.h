@@ -1,0 +1,41 @@
+// Two-Level Orthogonal Fat-Tree (Valerio et al. 1993/94; Kathareios et al.
+// SC'15, Section 2.2.4) — the r1 = r2 = k instance of the Stacked
+// Single-Path Tree class.
+//
+// The k-OFT is a three-router-level indirect network. Levels L0, L1 and L2
+// each contain RL = k^2 - k + 1 routers. L0 router i and L2 router i both
+// connect to the k L1 routers listed in row i of the k-ML3B table (the
+// "Maximal Leaves Basic Building Block"), so symmetric counterpart pairs
+// (0,i)/(2,i) share all their L1 neighbors while any other L0/L2 pair of
+// rows shares exactly one (projective-plane incidence). Every L0/L2 router
+// hosts p = k endpoints; all routers have radix 2k. N = 2k(k^2 - k + 1).
+#pragma once
+
+#include <vector>
+
+#include "topology/topology.h"
+
+namespace d2net {
+
+/// Tabular representation of the k-ML3B: RL rows of k L1-router indices.
+/// Row i lists the L1 routers adjacent to L0 router i (and to L2 router i).
+using Ml3bTable = std::vector<std::vector<int>>;
+
+/// Builds the k-ML3B via the MOLS-based algorithm of Section 2.2.4.
+/// Requires k - 1 to be a prime power (the paper states k = prime + 1; the
+/// GF-based MOLS generalize this to prime powers). Throws otherwise.
+Ml3bTable build_ml3b(int k);
+
+/// Checks the defining SPT property: any two distinct rows intersect in
+/// exactly one value, and every value in [0, RL) appears in exactly k rows.
+bool ml3b_is_valid(const Ml3bTable& table, int k);
+
+/// Builds the two-level k-OFT. Router id layout (matches the paper's
+/// contiguous node mapping — endpoint-attached levels first):
+///   L0 router i -> id i;  L2 router i -> id RL + i;  L1 router j -> 2RL + j.
+Topology build_oft(int k);
+
+/// Number of routers per OFT level for a given k.
+inline int oft_routers_per_level(int k) { return k * k - k + 1; }
+
+}  // namespace d2net

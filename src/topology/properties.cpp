@@ -1,0 +1,124 @@
+#include "topology/properties.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.h"
+#include "topology/topology.h"
+
+namespace d2net {
+namespace {
+
+/// Single-source BFS filling one row of the distance matrix; returns the
+/// visit order for DAG-based path counting.
+std::vector<int> bfs(const Topology& topo, int src, std::vector<int>& dist) {
+  dist.assign(topo.num_routers(), -1);
+  std::vector<int> order;
+  order.reserve(topo.num_routers());
+  std::queue<int> q;
+  dist[src] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    order.push_back(u);
+    for (int v : topo.neighbors(u)) {
+      if (dist[v] < 0) {
+        dist[v] = dist[u] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+DistanceMatrix all_pairs_distances(const Topology& topo) {
+  const int n = topo.num_routers();
+  DistanceMatrix out(n);
+  std::vector<int> dist;
+  for (int s = 0; s < n; ++s) {
+    bfs(topo, s, dist);
+    for (int t = 0; t < n; ++t) out.set(s, t, dist[t]);
+  }
+  return out;
+}
+
+int diameter(const DistanceMatrix& dist) {
+  int d = 0;
+  for (int a = 0; a < dist.size(); ++a) {
+    for (int b = 0; b < dist.size(); ++b) {
+      D2NET_REQUIRE(dist(a, b) >= 0, "graph is disconnected");
+      d = std::max(d, dist(a, b));
+    }
+  }
+  return d;
+}
+
+double average_distance(const DistanceMatrix& dist) {
+  double sum = 0.0;
+  std::int64_t pairs = 0;
+  for (int a = 0; a < dist.size(); ++a) {
+    for (int b = 0; b < dist.size(); ++b) {
+      if (a == b) continue;
+      sum += dist(a, b);
+      ++pairs;
+    }
+  }
+  return pairs > 0 ? sum / static_cast<double>(pairs) : 0.0;
+}
+
+std::vector<std::int64_t> shortest_path_counts(const Topology& topo) {
+  const int n = topo.num_routers();
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(n) * n, 0);
+  std::vector<int> dist;
+  std::vector<std::int64_t> c(n);
+  for (int s = 0; s < n; ++s) {
+    const std::vector<int> order = bfs(topo, s, dist);
+    std::fill(c.begin(), c.end(), 0);
+    c[s] = 1;
+    // BFS order guarantees predecessors are finalized before successors.
+    for (int u : order) {
+      if (u == s) continue;
+      for (int v : topo.neighbors(u)) {
+        if (dist[v] >= 0 && dist[v] + 1 == dist[u]) c[u] += c[v];
+      }
+    }
+    for (int t = 0; t < n; ++t) counts[static_cast<std::size_t>(s) * n + t] = c[t];
+  }
+  return counts;
+}
+
+PathDiversityStats path_diversity_at_distance(const Topology& topo, int distance) {
+  const int n = topo.num_routers();
+  const DistanceMatrix dist = all_pairs_distances(topo);
+  const std::vector<std::int64_t> counts = shortest_path_counts(topo);
+  PathDiversityStats out;
+  double sum = 0.0;
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      if (a == b || dist(a, b) != distance) continue;
+      const std::int64_t c = counts[static_cast<std::size_t>(a) * n + b];
+      ++out.pairs;
+      sum += static_cast<double>(c);
+      out.max = std::max(out.max, c);
+      if (c > 1) ++out.pairs_with_diversity;
+    }
+  }
+  out.mean = out.pairs > 0 ? sum / static_cast<double>(out.pairs) : 0.0;
+  return out;
+}
+
+int node_diameter(const Topology& topo, const DistanceMatrix& dist) {
+  int d = 0;
+  for (int a : topo.edge_routers()) {
+    for (int b : topo.edge_routers()) {
+      D2NET_REQUIRE(dist(a, b) >= 0, "graph is disconnected");
+      d = std::max(d, dist(a, b));
+    }
+  }
+  return d;
+}
+
+}  // namespace d2net

@@ -1,0 +1,54 @@
+// Structural graph properties: all-pairs distances, diameter, minimal-path
+// counting (Section 2.3.3 "Diversity of shortest paths") and degree/cost
+// summaries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace d2net {
+
+class Topology;
+
+/// All-pairs router distance matrix (row-major, R x R), entries in hops;
+/// -1 means unreachable.
+class DistanceMatrix {
+ public:
+  DistanceMatrix(int n) : n_(n), d_(static_cast<std::size_t>(n) * n, -1) {}
+  int operator()(int a, int b) const { return d_[static_cast<std::size_t>(a) * n_ + b]; }
+  void set(int a, int b, int v) { d_[static_cast<std::size_t>(a) * n_ + b] = static_cast<std::int16_t>(v); }
+  int size() const { return n_; }
+
+ private:
+  int n_;
+  std::vector<std::int16_t> d_;
+};
+
+/// BFS from every router. O(R * (R + L)).
+DistanceMatrix all_pairs_distances(const Topology& topo);
+
+/// Largest finite distance; throws if the graph is disconnected.
+int diameter(const DistanceMatrix& dist);
+
+double average_distance(const DistanceMatrix& dist);
+
+/// Number of distinct shortest paths between each router pair, computed by
+/// per-source BFS DAG counting. Row-major R x R; diagonal entries are 1.
+std::vector<std::int64_t> shortest_path_counts(const Topology& topo);
+
+/// Summary of minimal-path diversity over router pairs at a given distance
+/// (the paper quotes SF q=23 distance-2 pairs: mean ~1.1, max 8).
+struct PathDiversityStats {
+  std::int64_t pairs = 0;
+  double mean = 0.0;
+  std::int64_t max = 0;
+  std::int64_t pairs_with_diversity = 0;  ///< pairs with more than one path
+};
+
+PathDiversityStats path_diversity_at_distance(const Topology& topo, int distance);
+
+/// Endpoint-to-endpoint diameter in router hops (router diameter restricted
+/// to endpoint-attached routers).
+int node_diameter(const Topology& topo, const DistanceMatrix& dist);
+
+}  // namespace d2net

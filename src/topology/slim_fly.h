@@ -1,0 +1,57 @@
+// Diameter-two Slim Fly (Besta & Hoefler, SC'14) over MMS graphs
+// (McKay, Miller & Širáň 1998), as described in Section 2.1.2 of
+// Kathareios et al., SC'15.
+//
+// Given a prime power q = 4w + delta (delta in {-1, 0, +1}), the network has
+// R = 2q^2 routers in two subgraphs of q columns x q rows. Router
+// (0, x, y) connects to (0, x, y') iff y - y' is in the generator set X;
+// (1, m, c) connects to (1, m, c') iff c - c' is in X'; and (0, x, y)
+// connects to (1, m, c) iff y = m*x + c, all arithmetic over GF(q).
+// The network radix is r' = (3q - delta) / 2 and each router hosts
+// p = floor(r'/2) or ceil(r'/2) endpoints (the paper evaluates both).
+#pragma once
+
+#include <vector>
+
+#include "topology/topology.h"
+
+namespace d2net {
+
+class GaloisField;
+
+/// How to round the per-router endpoint count p = r'/2 (Section 2.1.2).
+enum class SlimFlyP {
+  kFloor,  ///< p = floor(r'/2): slightly under-subscribed, better performance
+  kCeil,   ///< p = ceil(r'/2): higher scalability, earlier saturation
+};
+
+/// Parameters derived from q.
+struct SlimFlyShape {
+  int q = 0;
+  int delta = 0;       ///< q = 4w + delta
+  int w = 0;
+  int network_radix = 0;  ///< r' = (3q - delta) / 2
+  int num_routers = 0;    ///< 2 q^2
+};
+
+/// Validates q (prime power of the form 4w + delta) and derives the shape.
+/// Throws ArgumentError for infeasible q.
+SlimFlyShape slim_fly_shape(int q);
+
+/// The MMS generator sets X (subgraph 0) and X' (subgraph 1) as field
+/// elements; exposed for testing. Both have 2w elements and are closed
+/// under negation.
+struct MmsGeneratorSets {
+  std::vector<int> x;
+  std::vector<int> x_prime;
+};
+MmsGeneratorSets mms_generator_sets(const GaloisField& gf, int delta, int w);
+
+/// Builds the Slim Fly for prime power q. If endpoints_per_router is < 0 the
+/// count is derived from `rounding`; otherwise it overrides p directly.
+/// Router ids follow the paper's contiguous mapping order:
+/// subgraph-major, then column, then row.
+Topology build_slim_fly(int q, SlimFlyP rounding = SlimFlyP::kFloor,
+                        int endpoints_per_router = -1);
+
+}  // namespace d2net

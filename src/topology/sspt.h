@@ -1,0 +1,57 @@
+// Single-Path Trees (SPT) and Stacked Single-Path Trees (SSPT) — the
+// indirect diameter-two topology class the paper introduces (Section
+// 2.2.2). The MLFM is the r2 = 2 instance; the two-level OFT is the
+// r2 = r1 instance.
+//
+// An SPT(r1, r2) is a two-level network where i) exactly one minimal path
+// exists between any pair of level-one routers and ii) a minimal number of
+// level-two routers is used. With level-one router-to-router radix r1 and
+// level-two radix r2 it scales to R1 = 1 + r1*(r2 - 1) level-one routers,
+// served by R2 = R1 * r1 / r2 level-two routers; each level-one router
+// hosts p = r1 endpoints.
+//
+// Stacking instantiates s = 2*r1/r2 logical SPT copies and merges each
+// s-tuple of corresponding level-two routers into one physical radix-2*r1
+// router, yielding a single-radix network. Endpoint pairs in different
+// copies that sit on *corresponding* level-one routers gain path diversity
+// r1; every other pair keeps the single minimal path.
+#pragma once
+
+#include <vector>
+
+#include "topology/topology.h"
+
+namespace d2net {
+
+/// The up-link incidence pattern of an SPT: row i lists the level-two
+/// routers adjacent to level-one router i.
+struct SptPattern {
+  int r1 = 0;      ///< level-one router-to-router radix (row length)
+  int r2 = 0;      ///< level-two radix (appearances of each L2 router)
+  int num_l1 = 0;  ///< 1 + r1*(r2 - 1)
+  int num_l2 = 0;  ///< num_l1 * r1 / r2
+  std::vector<std::vector<int>> uplinks;
+};
+
+/// The r2 = 2 pattern (one L2 router per L1 pair — the MLFM's full mesh).
+SptPattern make_spt_pattern_mesh(int r1);
+
+/// The r2 = r1 = k pattern via the k-ML3B (requires k - 1 prime power).
+SptPattern make_spt_pattern_ml3b(int k);
+
+/// Checks the defining SPT properties: row lengths r1, every L2 router in
+/// exactly r2 rows, and every pair of rows sharing exactly one L2 router.
+bool spt_pattern_is_valid(const SptPattern& pattern);
+
+/// Builds the plain (unstacked) SPT: level-one routers first (each hosting
+/// `endpoints_per_router` nodes; default -1 = r1), then level-two routers.
+Topology build_spt(const SptPattern& pattern, int endpoints_per_router = -1);
+
+/// Builds the SSPT from `copies` logical SPT instances (default -1 =
+/// 2*r1/r2, the single-radix stacking of the paper). Level-one routers are
+/// copy-major (copy 0's L1 routers, then copy 1's, ...), and each merged
+/// level-two router carries the links of all copies.
+Topology build_sspt(const SptPattern& pattern, int copies = -1,
+                    int endpoints_per_router = -1);
+
+}  // namespace d2net

@@ -1,0 +1,79 @@
+// Tests for the analysis reports and the textual topology specs.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/topology_report.h"
+#include "common/error.h"
+#include "topology/mlfm.h"
+#include "topology/oft.h"
+#include "topology/slim_fly.h"
+#include "topology/spec.h"
+
+namespace d2net {
+namespace {
+
+TEST(TopologyReport, OftNumbers) {
+  const TopologyReport rep = analyze_topology(build_oft(4));
+  EXPECT_EQ(rep.num_nodes, 104);
+  EXPECT_EQ(rep.num_routers, 39);
+  EXPECT_EQ(rep.node_diameter, 2);
+  // The OFT graph is bipartite (L0 u L2 vs L1): a non-adjacent L0-L1 pair
+  // sits at odd distance 3, so the *router* diameter exceeds the endpoint
+  // diameter. Only endpoint-attached routers source traffic, so the
+  // network is still "diameter two" in the paper's sense.
+  EXPECT_EQ(rep.router_diameter, 3);
+  EXPECT_NEAR(rep.ports_per_node, 3.0, 1e-9);
+  EXPECT_NEAR(rep.links_per_node, 2.0, 1e-9);
+  EXPECT_GT(rep.bisection.per_node, 0.3);
+  EXPECT_EQ(rep.diversity_d2.max, 4);  // symmetric pairs
+}
+
+TEST(TopologyReport, SlimFlyMooreFraction) {
+  const TopologyReport rep = analyze_topology(build_slim_fly(7));
+  EXPECT_GT(rep.moore_fraction, 0.75);
+  EXPECT_LT(rep.moore_fraction, 1.0);
+  EXPECT_EQ(rep.router_diameter, 2);
+}
+
+TEST(TopologyReport, PrintsAllMetrics) {
+  std::ostringstream os;
+  print_topology_report(analyze_topology(build_mlfm(3)), os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("MLFM"), std::string::npos);
+  EXPECT_NE(text.find("bisection"), std::string::npos);
+  EXPECT_NE(text.find("Moore"), std::string::npos);
+}
+
+TEST(DeadlockReportTest, AllThreeTopologiesPass) {
+  for (const Topology& topo : {build_slim_fly(5), build_mlfm(4), build_oft(4)}) {
+    const DeadlockReport rep = check_deadlock_freedom(topo);
+    EXPECT_TRUE(rep.minimal_ok) << topo.name();
+    EXPECT_TRUE(rep.indirect_ok) << topo.name();
+    EXPECT_TRUE(rep.single_vc_cyclic) << topo.name();
+  }
+}
+
+// -------------------------------------------------------------------- spec
+
+TEST(Spec, BuildsEveryFamily) {
+  EXPECT_EQ(build_topology_from_spec("sf:q=5").num_routers(), 50);
+  EXPECT_EQ(build_topology_from_spec("sf:q=5,p=ceil").num_nodes(), 200);
+  EXPECT_EQ(build_topology_from_spec("sf:q=5,p=2").num_nodes(), 100);
+  EXPECT_EQ(build_topology_from_spec("mlfm:h=4").num_nodes(), 80);
+  EXPECT_EQ(build_topology_from_spec("mlfm:h=4,l=2,p=3").num_nodes(), 30);
+  EXPECT_EQ(build_topology_from_spec("oft:k=4").num_nodes(), 104);
+  EXPECT_EQ(build_topology_from_spec("hyperx:r=12").num_nodes(), 100);
+  EXPECT_EQ(build_topology_from_spec("ft2:r=8").num_nodes(), 32);
+  EXPECT_EQ(build_topology_from_spec("ft3:r=8").num_nodes(), 128);
+}
+
+TEST(Spec, RejectsMalformed) {
+  EXPECT_THROW(build_topology_from_spec("nope:q=5"), ArgumentError);
+  EXPECT_THROW(build_topology_from_spec("sf"), ArgumentError);        // missing q
+  EXPECT_THROW(build_topology_from_spec("sf:q"), ArgumentError);      // no value
+  EXPECT_THROW(build_topology_from_spec("mlfm:x=4"), ArgumentError);  // wrong key
+}
+
+}  // namespace
+}  // namespace d2net

@@ -1,0 +1,136 @@
+// Tests for the Dragonfly baseline comparator (Kim et al., ISCA'08).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "routing/cdg.h"
+#include "routing/factory.h"
+#include "routing/minimal_table.h"
+#include "routing/valiant_routing.h"
+#include "sim/experiment.h"
+#include "topology/cost_model.h"
+#include "topology/dragonfly.h"
+#include "topology/properties.h"
+#include "topology/spec.h"
+
+namespace d2net {
+namespace {
+
+TEST(Dragonfly, BalancedShape) {
+  // p = 2: a = 4, h = 2, g = 9, R = 36, N = 72, radix 7.
+  const Topology topo = build_dragonfly_balanced(7);
+  EXPECT_EQ(topo.num_routers(), 36);
+  EXPECT_EQ(topo.num_nodes(), 72);
+  for (int r = 0; r < topo.num_routers(); ++r) {
+    EXPECT_EQ(topo.router_radix(r), 7);
+  }
+}
+
+TEST(Dragonfly, EveryGroupPairHasExactlyOneGlobalLink) {
+  const int a = 4;
+  const int h = 2;
+  const Topology topo = build_dragonfly(a, h, 2);
+  const int groups = a * h + 1;
+  std::vector<std::vector<int>> between(groups, std::vector<int>(groups, 0));
+  for (const Link& l : topo.links()) {
+    const int g1 = topo.info(l.r1).a;
+    const int g2 = topo.info(l.r2).a;
+    if (g1 != g2) {
+      ++between[g1][g2];
+      ++between[g2][g1];
+    }
+  }
+  for (int g1 = 0; g1 < groups; ++g1) {
+    for (int g2 = 0; g2 < groups; ++g2) {
+      EXPECT_EQ(between[g1][g2], g1 == g2 ? 0 : 1) << g1 << "," << g2;
+    }
+  }
+}
+
+TEST(Dragonfly, DiameterThree) {
+  const Topology topo = build_dragonfly(4, 2, 2);
+  const DistanceMatrix dist = all_pairs_distances(topo);
+  EXPECT_EQ(diameter(dist), 3);
+}
+
+TEST(Dragonfly, GlobalLinksPerRouter) {
+  const int a = 6;
+  const int h = 3;
+  const Topology topo = build_dragonfly(a, h, 3);
+  for (int r = 0; r < topo.num_routers(); ++r) {
+    int global = 0;
+    for (int nb : topo.neighbors(r)) {
+      if (topo.info(nb).a != topo.info(r).a) ++global;
+    }
+    EXPECT_EQ(global, h) << r;
+  }
+}
+
+TEST(Dragonfly, DeadlockFreeWithHopIndexVcs) {
+  const Topology topo = build_dragonfly(4, 2, 2);
+  const MinimalTable table(topo);
+  EXPECT_EQ(vc_policy_for(topo.kind()), VcPolicy::kHopIndex);
+  EXPECT_TRUE(check_minimal_deadlock_freedom(topo, table, VcPolicy::kHopIndex).acyclic);
+  EXPECT_TRUE(check_indirect_deadlock_freedom(topo, table, VcPolicy::kHopIndex,
+                                              valiant_intermediates(topo))
+                  .acyclic);
+}
+
+TEST(Dragonfly, SimulatesUniformTraffic) {
+  const Topology topo = build_dragonfly_balanced(11);  // p = 3, N = 342
+  SimConfig cfg;
+  SimStack stack(topo, RoutingStrategy::kMinimal, cfg);
+  UniformTraffic uni(topo.num_nodes());
+  const OpenLoopResult r = stack.run_open_loop(uni, 0.5, us(20), us(4));
+  EXPECT_NEAR(r.accepted_throughput, 0.5, 0.05);
+}
+
+TEST(Dragonfly, AdversarialTrafficNeedsValiant) {
+  // The classic Dragonfly adversary: every node in group g sends to the
+  // peer group reached by the single inter-group link; minimal routing
+  // funnels a*p node loads through it.
+  const Topology topo = build_dragonfly(4, 2, 2);  // a*p = 8 flows per link
+  SimConfig cfg;
+  const MinimalTable table(topo);
+  // Build the adversarial permutation: node -> same-index node in the
+  // group offset by +1.
+  const int a = 4;
+  const int p = 2;
+  const int groups = 9;
+  std::vector<int> dest(topo.num_nodes());
+  for (int n = 0; n < topo.num_nodes(); ++n) {
+    const int within = n % (a * p);
+    const int g = n / (a * p);
+    dest[n] = ((g + 1) % groups) * (a * p) + within;
+  }
+  PermutationTraffic adversary(dest, "df-adversary");
+  // Note: hierarchical Dragonfly routing (always local-global-local via the
+  // single g->g+1 link) would collapse to 1/(a*p) = 0.125; our generic
+  // shortest-path minimal routing also exploits the 2-hop detours through
+  // third groups that happen to be minimal, landing visibly higher — but
+  // still far below uniform levels.
+  SimStack min_stack(topo, RoutingStrategy::kMinimal, cfg);
+  const OpenLoopResult rm = min_stack.run_open_loop(adversary, 1.0, us(24), us(6));
+  EXPECT_LT(rm.accepted_throughput, 0.5);
+  SimStack ugal_stack(topo, RoutingStrategy::kUgal, cfg);
+  const OpenLoopResult ru = ugal_stack.run_open_loop(adversary, 0.45, us(24), us(6));
+  EXPECT_GT(ru.accepted_throughput, 0.40);  // adaptive sustains what MIN cannot
+}
+
+TEST(Dragonfly, CostModelShowsDiameterTwoAdvantage) {
+  // At equal radix the diameter-two designs reach similar-or-better scale
+  // with ~25% fewer ports per endpoint than the Dragonfly.
+  const auto df = best_dragonfly(48);
+  const auto oft = best_oft(48);
+  ASSERT_TRUE(df && oft);
+  EXPECT_GT(df->ports_per_node, 3.4);
+  EXPECT_NEAR(oft->ports_per_node, 3.0, 0.01);
+  EXPECT_EQ(df->diameter, 3);
+}
+
+TEST(Dragonfly, SpecStrings) {
+  EXPECT_EQ(build_topology_from_spec("dragonfly:r=7").num_nodes(), 72);
+  EXPECT_EQ(build_topology_from_spec("df:a=4,h=2,p=2").num_nodes(), 72);
+}
+
+}  // namespace
+}  // namespace d2net

@@ -1,0 +1,149 @@
+// Tests for the extension features beyond the paper's core evaluation:
+// UGAL-G (global oracle), random-permutation traffic, custom rank mappings
+// for the nearest-neighbor exchange, and the Jain fairness metric.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "routing/ugal_global_routing.h"
+#include "routing/valiant_routing.h"
+#include "sim/exchange.h"
+#include "sim/experiment.h"
+#include "topology/mlfm.h"
+#include "topology/oft.h"
+#include "topology/slim_fly.h"
+
+namespace d2net {
+namespace {
+
+TEST(UgalGlobal, RoutesAreValidAndMinimalWhenIdle) {
+  const Topology topo = build_slim_fly(5);
+  const MinimalTable table(topo);
+  ZeroLoadProvider loads;
+  UgalGlobalRouting algo(table, VcPolicy::kHopIndex, valiant_intermediates(topo), 4, 1.0,
+                         loads);
+  Rng rng(1);
+  for (int t = 0; t < 200; ++t) {
+    const int a = static_cast<int>(rng.next_below(topo.num_routers()));
+    int b = static_cast<int>(rng.next_below(topo.num_routers()));
+    if (a == b) continue;
+    const Route r = algo.route(a, b, rng);
+    EXPECT_TRUE(r.minimal());  // idle network: minimal wins every tie
+    EXPECT_EQ(r.hops(), table.distance(a, b));
+    for (std::size_t i = 0; i + 1 < r.routers.size(); ++i) {
+      EXPECT_TRUE(topo.connected(r.routers[i], r.routers[i + 1]));
+    }
+  }
+}
+
+TEST(UgalGlobal, MatchesOrBeatsLocalOnWorstCase) {
+  const Topology topo = build_mlfm(4);
+  SimConfig cfg;
+  const MinimalTable table(topo);
+  Rng rng(1);
+  const auto wc = make_worst_case(topo, table, rng);
+
+  SimStack local(topo, RoutingStrategy::kUgal, cfg);
+  SimStack global(topo, RoutingStrategy::kUgalGlobal, cfg);
+  const OpenLoopResult rl = local.run_open_loop(*wc, 0.4, us(24), us(6));
+  const OpenLoopResult rg = global.run_open_loop(*wc, 0.4, us(24), us(6));
+  // The oracle must not be (materially) worse than the local variant.
+  EXPECT_GE(rg.accepted_throughput, rl.accepted_throughput - 0.03);
+}
+
+TEST(UgalGlobal, FactorySupportsIt) {
+  const Topology topo = build_oft(4);
+  const MinimalTable table(topo);
+  ZeroLoadProvider loads;
+  const auto algo = make_routing(topo, table, RoutingStrategy::kUgalGlobal, loads);
+  EXPECT_EQ(algo->name(), "UGAL-G");
+  EXPECT_EQ(num_vcs_needed(topo, table, RoutingStrategy::kUgalGlobal), 2);
+}
+
+TEST(RandomPermutation, IsDerangement) {
+  Rng rng(5);
+  for (int n : {2, 3, 10, 101}) {
+    const auto t = make_random_permutation(n, rng);
+    const auto& perm = t->permutation();
+    std::set<int> seen(perm.begin(), perm.end());
+    EXPECT_EQ(static_cast<int>(seen.size()), n);
+    for (int i = 0; i < n; ++i) EXPECT_NE(perm[i], i);
+  }
+}
+
+TEST(RandomPermutation, SimulatesBetweenUniformAndWorstCase) {
+  const Topology topo = build_mlfm(4);
+  SimConfig cfg;
+  SimStack stack(topo, RoutingStrategy::kMinimal, cfg);
+  Rng rng(7);
+  const auto perm = make_random_permutation(topo.num_nodes(), rng);
+  const OpenLoopResult r = stack.run_open_loop(*perm, 1.0, us(24), us(6));
+  // Random permutations stress the single-path pairs but not coherently:
+  // throughput lands between the WC (1/h = 0.25) and uniform (~0.95).
+  EXPECT_GT(r.accepted_throughput, 0.25);
+  EXPECT_LT(r.accepted_throughput, 0.95);
+}
+
+TEST(RankMapping, RandomMappingIsInjective) {
+  Rng rng(3);
+  const auto map = random_rank_mapping(50, 24, rng);
+  EXPECT_EQ(map.size(), 24u);
+  std::set<int> seen(map.begin(), map.end());
+  EXPECT_EQ(seen.size(), 24u);
+  for (int node : map) {
+    EXPECT_GE(node, 0);
+    EXPECT_LT(node, 50);
+  }
+}
+
+TEST(RankMapping, CustomMappingReroutesPlan) {
+  Rng rng(9);
+  const auto map = random_rank_mapping(40, 36, rng);
+  const ExchangePlan plan = make_nearest_neighbor_plan(40, {2, 3, 6}, 512, map);
+  EXPECT_EQ(plan.active_nodes(), 36);
+  EXPECT_EQ(plan.total_bytes(), 36 * 6 * 512);
+  // The node NOT in the mapping must be idle.
+  std::set<int> used(map.begin(), map.end());
+  for (int n = 0; n < 40; ++n) {
+    if (!used.count(n)) {
+      EXPECT_TRUE(plan.per_node[n].empty()) << n;
+    }
+  }
+}
+
+TEST(RankMapping, RandomMappingStillCompletes) {
+  const Topology topo = build_mlfm(3);
+  SimConfig cfg;
+  SimStack stack(topo, RoutingStrategy::kValiant, cfg);
+  Rng rng(11);
+  const auto dims = best_torus_dims(topo.num_nodes());
+  const auto map = random_rank_mapping(topo.num_nodes(), dims[0] * dims[1] * dims[2], rng);
+  const ExchangePlan plan = make_nearest_neighbor_plan(topo.num_nodes(), dims, 4096, map);
+  const ExchangeResult r = stack.run_exchange(plan, us(100000));
+  EXPECT_TRUE(r.completed);
+}
+
+TEST(Fairness, UniformTrafficIsFair) {
+  const Topology topo = build_oft(4);
+  SimConfig cfg;
+  SimStack stack(topo, RoutingStrategy::kMinimal, cfg);
+  UniformTraffic uni(topo.num_nodes());
+  const OpenLoopResult r = stack.run_open_loop(uni, 0.7, us(24), us(6));
+  EXPECT_GT(r.jain_fairness, 0.95);
+}
+
+TEST(Fairness, WorstCaseStaysReasonablyFair) {
+  // All flows share the same bottleneck degree, so service stays even.
+  const Topology topo = build_mlfm(4);
+  SimConfig cfg;
+  SimStack stack(topo, RoutingStrategy::kMinimal, cfg);
+  const MinimalTable table(topo);
+  Rng rng(1);
+  const auto wc = make_worst_case(topo, table, rng);
+  const OpenLoopResult r = stack.run_open_loop(*wc, 1.0, us(24), us(6));
+  EXPECT_GT(r.jain_fairness, 0.5);
+}
+
+}  // namespace
+}  // namespace d2net

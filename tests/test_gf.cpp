@@ -1,0 +1,204 @@
+// Unit and property tests for the Galois-field and MOLS modules.
+// TEST_P sweeps exercise the field axioms for every order used by the
+// topology generators (primes and true prime powers).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+#include "gf/galois_field.h"
+#include "gf/mols.h"
+
+namespace d2net {
+namespace {
+
+TEST(GaloisField, RejectsNonPrimePowers) {
+  for (int q : {0, 1, 6, 10, 12, 15, 18, 20, 24}) {
+    EXPECT_THROW(GaloisField{q}, ArgumentError) << q;
+  }
+}
+
+TEST(GaloisField, FactorsPrimePowers) {
+  int p = 0;
+  int m = 0;
+  ASSERT_TRUE(GaloisField::factor_prime_power(8, p, m));
+  EXPECT_EQ(p, 2);
+  EXPECT_EQ(m, 3);
+  ASSERT_TRUE(GaloisField::factor_prime_power(49, p, m));
+  EXPECT_EQ(p, 7);
+  EXPECT_EQ(m, 2);
+  ASSERT_TRUE(GaloisField::factor_prime_power(13, p, m));
+  EXPECT_EQ(p, 13);
+  EXPECT_EQ(m, 1);
+  EXPECT_FALSE(GaloisField::factor_prime_power(12, p, m));
+}
+
+TEST(GaloisField, IsPrime) {
+  EXPECT_TRUE(GaloisField::is_prime(2));
+  EXPECT_TRUE(GaloisField::is_prime(13));
+  EXPECT_TRUE(GaloisField::is_prime(97));
+  EXPECT_FALSE(GaloisField::is_prime(1));
+  EXPECT_FALSE(GaloisField::is_prime(9));
+  EXPECT_FALSE(GaloisField::is_prime(91));  // 7 * 13
+}
+
+class GaloisFieldAxioms : public ::testing::TestWithParam<int> {};
+
+TEST_P(GaloisFieldAxioms, AdditiveGroup) {
+  GaloisField gf(GetParam());
+  const int q = gf.order();
+  for (int a = 0; a < q; ++a) {
+    EXPECT_EQ(gf.add(a, 0), a);
+    EXPECT_EQ(gf.add(a, gf.neg(a)), 0);
+    for (int b = 0; b < q; ++b) {
+      EXPECT_EQ(gf.add(a, b), gf.add(b, a));
+    }
+  }
+}
+
+TEST_P(GaloisFieldAxioms, MultiplicativeGroup) {
+  GaloisField gf(GetParam());
+  const int q = gf.order();
+  for (int a = 1; a < q; ++a) {
+    EXPECT_EQ(gf.mul(a, 1), a);
+    EXPECT_EQ(gf.mul(a, gf.inv(a)), 1);
+  }
+  for (int a = 0; a < q; ++a) EXPECT_EQ(gf.mul(a, 0), 0);
+}
+
+TEST_P(GaloisFieldAxioms, Distributivity) {
+  GaloisField gf(GetParam());
+  const int q = gf.order();
+  // Full triple loop is cubic; cap the field size it runs against.
+  if (q > 16) GTEST_SKIP() << "cubic sweep limited to small fields";
+  for (int a = 0; a < q; ++a) {
+    for (int b = 0; b < q; ++b) {
+      for (int c = 0; c < q; ++c) {
+        EXPECT_EQ(gf.mul(a, gf.add(b, c)), gf.add(gf.mul(a, b), gf.mul(a, c)));
+      }
+    }
+  }
+}
+
+TEST_P(GaloisFieldAxioms, PrimitiveElementGeneratesEverything) {
+  GaloisField gf(GetParam());
+  const int q = gf.order();
+  std::set<int> seen;
+  int x = 1;
+  for (int i = 0; i < q - 1; ++i) {
+    seen.insert(x);
+    x = gf.mul(x, gf.primitive_element());
+  }
+  EXPECT_EQ(x, 1);  // order exactly q-1
+  EXPECT_EQ(static_cast<int>(seen.size()), q - 1);
+}
+
+TEST_P(GaloisFieldAxioms, LogExpRoundTrip) {
+  GaloisField gf(GetParam());
+  for (int a = 1; a < gf.order(); ++a) {
+    EXPECT_EQ(gf.exp(gf.log(a)), a);
+  }
+}
+
+TEST_P(GaloisFieldAxioms, PowMatchesRepeatedMultiplication) {
+  GaloisField gf(GetParam());
+  const int q = gf.order();
+  for (int a = 1; a < q; ++a) {
+    int acc = 1;
+    for (int e = 0; e <= 5; ++e) {
+      EXPECT_EQ(gf.pow(a, e), acc) << "a=" << a << " e=" << e;
+      acc = gf.mul(acc, a);
+    }
+  }
+}
+
+// Orders used by the generators: SF q in {5,7,8,9,11,13,25,27}, OFT k-1 in
+// {2,3,4,5,7,11}, plus GF(2) and GF(3) corner cases.
+INSTANTIATE_TEST_SUITE_P(Orders, GaloisFieldAxioms,
+                         ::testing::Values(2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 25, 27, 49));
+
+TEST(GaloisField, InverseOfZeroThrows) {
+  GaloisField gf(7);
+  EXPECT_THROW(gf.inv(0), ArgumentError);
+  EXPECT_THROW(gf.log(0), ArgumentError);
+}
+
+TEST(GaloisField, ModulusIsIrreducibleOverPrimeSubfield) {
+  // For extension fields the modulus must be monic of degree m with no
+  // roots in GF(p) (necessary for irreducibility; sufficient for m <= 3).
+  for (int q : {4, 8, 9, 16, 25, 27}) {
+    GaloisField gf(q);
+    const auto& mod = gf.modulus();
+    const int p = gf.characteristic();
+    const int m = gf.degree();
+    ASSERT_EQ(static_cast<int>(mod.size()), m + 1);
+    EXPECT_EQ(mod.back(), 1) << "monic";
+    for (int x = 0; x < p; ++x) {
+      std::int64_t value = 0;
+      std::int64_t power = 1;
+      for (int coeff : mod) {
+        value = (value + coeff * power) % p;
+        power = (power * x) % p;
+      }
+      EXPECT_NE(value % p, 0) << "root " << x << " in GF(" << q << ") modulus";
+    }
+  }
+}
+
+TEST(GaloisField, SubtractionInverts) {
+  for (int q : {7, 9, 16}) {
+    GaloisField gf(q);
+    for (int a = 0; a < q; ++a) {
+      for (int b = 0; b < q; ++b) {
+        EXPECT_EQ(gf.add(gf.sub(a, b), b), a);
+      }
+    }
+  }
+}
+
+TEST(GaloisField, CharacteristicAddition) {
+  GaloisField gf(8);  // GF(2^3): x + x = 0
+  for (int a = 0; a < 8; ++a) EXPECT_EQ(gf.add(a, a), 0);
+  GaloisField gf9(9);  // GF(3^2): x + x + x = 0
+  for (int a = 0; a < 9; ++a) EXPECT_EQ(gf9.add(gf9.add(a, a), a), 0);
+}
+
+class MolsProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MolsProperty, CompleteSetIsLatinAndPairwiseOrthogonal) {
+  const int n = GetParam();
+  const auto squares = complete_mols(n);
+  ASSERT_EQ(static_cast<int>(squares.size()), n - 1);
+  for (const auto& sq : squares) EXPECT_TRUE(is_latin_square(sq));
+  for (std::size_t i = 0; i < squares.size(); ++i) {
+    for (std::size_t j = i + 1; j < squares.size(); ++j) {
+      EXPECT_TRUE(are_orthogonal(squares[i], squares[j])) << i << "," << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, MolsProperty, ::testing::Values(2, 3, 4, 5, 7, 8, 9, 11, 13));
+
+TEST(Mols, PrimeOrderMatchesModularFormula) {
+  const auto squares = complete_mols(5);
+  for (int a = 1; a < 5; ++a) {
+    for (int r = 0; r < 5; ++r) {
+      for (int c = 0; c < 5; ++c) {
+        EXPECT_EQ(squares[a - 1][r][c], (r + a * c) % 5);
+      }
+    }
+  }
+}
+
+TEST(Mols, DetectsNonLatin) {
+  LatinSquare bad{{0, 1}, {0, 1}};
+  EXPECT_FALSE(is_latin_square(bad));
+}
+
+TEST(Mols, DetectsNonOrthogonal) {
+  const auto squares = complete_mols(4);
+  EXPECT_FALSE(are_orthogonal(squares[0], squares[0]));
+}
+
+}  // namespace
+}  // namespace d2net

@@ -1,0 +1,136 @@
+// Cross-topology property sweep: one parameterized suite asserting the
+// invariants every generated network must satisfy, across all families and
+// a range of sizes (including the GF(2^m)/GF(3^m) Slim Flys and generic
+// SSPTs). Complements the per-family unit tests.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.h"
+#include "routing/factory.h"
+#include "routing/minimal_table.h"
+#include "sim/experiment.h"
+#include "topology/properties.h"
+#include "topology/spec.h"
+
+namespace d2net {
+namespace {
+
+class TopologyInvariants : public ::testing::TestWithParam<const char*> {
+ protected:
+  Topology topo() const { return build_topology_from_spec(GetParam()); }
+};
+
+TEST_P(TopologyInvariants, AdjacencyIsSymmetricAndLoopFree) {
+  const Topology t = topo();
+  for (int r = 0; r < t.num_routers(); ++r) {
+    for (int n : t.neighbors(r)) {
+      EXPECT_NE(n, r);
+      EXPECT_TRUE(t.connected(n, r));
+    }
+  }
+}
+
+TEST_P(TopologyInvariants, NodeAccountingIsConsistent) {
+  const Topology t = topo();
+  int total = 0;
+  for (int r = 0; r < t.num_routers(); ++r) total += t.endpoints_of(r);
+  EXPECT_EQ(total, t.num_nodes());
+  for (int n = 0; n < t.num_nodes(); ++n) {
+    const int r = t.router_of_node(n);
+    EXPECT_GE(n, t.node_base(r));
+    EXPECT_LT(n, t.node_base(r) + t.endpoints_of(r));
+  }
+}
+
+TEST_P(TopologyInvariants, DegreeSumMatchesLinkCount) {
+  const Topology t = topo();
+  std::size_t degree_sum = 0;
+  for (int r = 0; r < t.num_routers(); ++r) degree_sum += t.neighbors(r).size();
+  EXPECT_EQ(degree_sum, 2u * static_cast<std::size_t>(t.num_links()));
+}
+
+TEST_P(TopologyInvariants, EndpointDiameterAtMostFour) {
+  // All families here are diameter-2 except the 3-level Fat-Tree (4).
+  const Topology t = topo();
+  const DistanceMatrix dist = all_pairs_distances(t);
+  const int d = node_diameter(t, dist);
+  EXPECT_GE(d, 1);
+  EXPECT_LE(d, t.kind() == TopologyKind::kFatTree3 ? 4 : 2) << t.name();
+}
+
+TEST_P(TopologyInvariants, CostWithinDiameterTwoBudget) {
+  const Topology t = topo();
+  if (t.kind() == TopologyKind::kFatTree3) return;  // 5 ports / 3 links class
+  if (t.name().find("l=2") != std::string::npos) {
+    // Deliberately unbalanced (h != l) MLFM: global-router capacity is
+    // wasted, so the per-endpoint cost exceeds the balanced budget.
+    return;
+  }
+  // The asymptotic budget is 3 ports / 2 links; tiny instances round up
+  // (e.g. SF q=5 with p = floor(7/2) = 3 lands at 3.33 / 2.17).
+  EXPECT_LE(t.ports_per_node(), 3.35) << t.name();
+  EXPECT_LE(t.links_per_node(), 2.20) << t.name();
+}
+
+TEST_P(TopologyInvariants, MinimalTableDistancesAreMetric) {
+  const Topology t = topo();
+  const MinimalTable table(t);
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int a = static_cast<int>(rng.next_below(t.num_routers()));
+    const int b = static_cast<int>(rng.next_below(t.num_routers()));
+    const int c = static_cast<int>(rng.next_below(t.num_routers()));
+    EXPECT_EQ(table.distance(a, b), table.distance(b, a));
+    EXPECT_LE(table.distance(a, c), table.distance(a, b) + table.distance(b, c));
+    if (a != b) {
+      EXPECT_FALSE(table.next_hops(a, b).empty());
+    }
+  }
+}
+
+TEST_P(TopologyInvariants, EveryRoutingStrategyProducesValidWalks) {
+  const Topology t = topo();
+  const MinimalTable table(t);
+  ZeroLoadProvider loads;
+  Rng rng(3);
+  const std::vector<int> edge = t.edge_routers();
+  for (RoutingStrategy s :
+       {RoutingStrategy::kMinimal, RoutingStrategy::kValiant, RoutingStrategy::kUgal,
+        RoutingStrategy::kUgalThreshold, RoutingStrategy::kUgalGlobal}) {
+    const auto algo = make_routing(t, table, s, loads);
+    const int vcs = algo->num_vcs();
+    for (int trial = 0; trial < 50; ++trial) {
+      const int a = edge[rng.next_below(edge.size())];
+      const int b = edge[rng.next_below(edge.size())];
+      if (a == b) continue;
+      const Route r = algo->route(a, b, rng);
+      ASSERT_EQ(r.vcs.size(), r.routers.size() - 1);
+      for (std::size_t i = 0; i + 1 < r.routers.size(); ++i) {
+        EXPECT_TRUE(t.connected(r.routers[i], r.routers[i + 1]));
+        EXPECT_LT(r.vcs[i], vcs) << algo->name();
+      }
+      EXPECT_EQ(r.routers.front(), a);
+      EXPECT_EQ(r.routers.back(), b);
+    }
+  }
+}
+
+TEST_P(TopologyInvariants, LowLoadSimulationDeliversOffered) {
+  const Topology t = topo();
+  if (t.num_nodes() > 700) GTEST_SKIP() << "sim sweep kept small";
+  SimConfig cfg;
+  SimStack stack(t, RoutingStrategy::kMinimal, cfg);
+  UniformTraffic uni(t.num_nodes());
+  const OpenLoopResult r = stack.run_open_loop(uni, 0.2, us(12), us(2));
+  EXPECT_NEAR(r.accepted_throughput, 0.2, 0.025) << t.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, TopologyInvariants,
+    ::testing::Values("sf:q=5", "sf:q=7", "sf:q=8", "sf:q=9", "sf:q=9,p=ceil", "mlfm:h=3",
+                      "mlfm:h=5", "mlfm:h=4,l=2,p=3", "oft:k=3", "oft:k=5", "oft:k=6",
+                      "sspt:r1=4,r2=2", "sspt:r1=5,r2=5", "hyperx:r=9", "ft2:r=6", "ft3:r=4"));
+
+}  // namespace
+}  // namespace d2net

@@ -1,0 +1,191 @@
+// Tests for the generic SPT / SSPT construction (paper Section 2.2.2) and
+// its relationship to the MLFM (r2 = 2) and OFT (r2 = r1) instances.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "sim/experiment.h"
+#include "topology/mlfm.h"
+#include "topology/oft.h"
+#include "topology/properties.h"
+#include "topology/spec.h"
+#include "topology/sspt.h"
+
+namespace d2net {
+namespace {
+
+// ---------------------------------------------------------------- patterns
+
+TEST(SptPattern, MeshPatternIsValid) {
+  for (int r1 : {2, 3, 5, 8, 15}) {
+    const SptPattern p = make_spt_pattern_mesh(r1);
+    EXPECT_EQ(p.num_l1, r1 + 1);
+    EXPECT_EQ(p.num_l2, r1 * (r1 + 1) / 2);
+    EXPECT_TRUE(spt_pattern_is_valid(p)) << r1;
+  }
+}
+
+TEST(SptPattern, Ml3bPatternIsValid) {
+  for (int k : {3, 4, 5, 6, 8, 12}) {
+    const SptPattern p = make_spt_pattern_ml3b(k);
+    EXPECT_EQ(p.num_l1, k * k - k + 1);
+    EXPECT_EQ(p.num_l2, p.num_l1);
+    EXPECT_TRUE(spt_pattern_is_valid(p)) << k;
+  }
+}
+
+TEST(SptPattern, ValidityCatchesBrokenPatterns) {
+  SptPattern p = make_spt_pattern_mesh(4);
+  auto broken = p;
+  std::swap(broken.uplinks[0][0], broken.uplinks[0][1]);  // still valid (order-free)
+  EXPECT_TRUE(spt_pattern_is_valid(broken));
+  broken = p;
+  broken.uplinks[0][0] = broken.uplinks[0][1];  // duplicate in a row
+  EXPECT_FALSE(spt_pattern_is_valid(broken));
+  broken = p;
+  // Rows 0 and 1 already share their pair-(0,1) router; adding row 0's
+  // second entry to row 1 makes the intersection 2 and skews degrees.
+  broken.uplinks[1][1] = broken.uplinks[0][1];
+  EXPECT_FALSE(spt_pattern_is_valid(broken));
+}
+
+// --------------------------------------------------------------------- SPT
+
+TEST(Spt, SinglePathBetweenAllLevelOnePairs) {
+  for (const SptPattern& p : {make_spt_pattern_mesh(5), make_spt_pattern_ml3b(4)}) {
+    const Topology topo = build_spt(p);
+    const auto counts = shortest_path_counts(topo);
+    const int n = topo.num_routers();
+    for (int i = 0; i < p.num_l1; ++i) {
+      for (int j = 0; j < p.num_l1; ++j) {
+        if (i == j) continue;
+        EXPECT_EQ(counts[static_cast<std::size_t>(i) * n + j], 1)
+            << topo.name() << " " << i << "," << j;
+      }
+    }
+    const DistanceMatrix dist = all_pairs_distances(topo);
+    EXPECT_EQ(node_diameter(topo, dist), 2);
+  }
+}
+
+TEST(Spt, ScaleMatchesFormula) {
+  for (const SptPattern& p : {make_spt_pattern_mesh(6), make_spt_pattern_ml3b(5)}) {
+    const Topology topo = build_spt(p);
+    // N = p * R1 with p = r1: N = r1 * (1 + r1*(r2-1)) + ... endpoints only.
+    EXPECT_EQ(topo.num_nodes(), p.r1 * (1 + p.r1 * (p.r2 - 1)));
+    // 3 ports and 2 links per endpoint (Section 2.2.2).
+    EXPECT_NEAR(topo.ports_per_node(), 3.0, 1e-9);
+    EXPECT_NEAR(topo.links_per_node(), 2.0, 1e-9);
+  }
+}
+
+// -------------------------------------------------------------------- SSPT
+
+TEST(Sspt, StackedMeshMatchesMlfm) {
+  // SSPT(mesh(h), s = h) must be structurally identical to the h-MLFM.
+  const int h = 5;
+  const Topology sspt = build_sspt(make_spt_pattern_mesh(h));
+  const Topology mlfm = build_mlfm(h);
+  EXPECT_EQ(sspt.num_nodes(), mlfm.num_nodes());
+  EXPECT_EQ(sspt.num_routers(), mlfm.num_routers());
+  EXPECT_EQ(sspt.num_links(), mlfm.num_links());
+  const DistanceMatrix da = all_pairs_distances(sspt);
+  const DistanceMatrix db = all_pairs_distances(mlfm);
+  EXPECT_EQ(node_diameter(sspt, da), node_diameter(mlfm, db));
+  EXPECT_NEAR(average_distance(da), average_distance(db), 1e-9);
+  const PathDiversityStats pa = path_diversity_at_distance(sspt, 2);
+  const PathDiversityStats pb = path_diversity_at_distance(mlfm, 2);
+  EXPECT_EQ(pa.pairs, pb.pairs);
+  EXPECT_NEAR(pa.mean, pb.mean, 1e-9);
+  EXPECT_EQ(pa.max, pb.max);
+}
+
+TEST(Sspt, StackedMl3bMatchesOft) {
+  const int k = 5;
+  const Topology sspt = build_sspt(make_spt_pattern_ml3b(k));  // s = 2
+  const Topology oft = build_oft(k);
+  EXPECT_EQ(sspt.num_nodes(), oft.num_nodes());
+  EXPECT_EQ(sspt.num_routers(), oft.num_routers());
+  EXPECT_EQ(sspt.num_links(), oft.num_links());
+  const PathDiversityStats pa = path_diversity_at_distance(sspt, 2);
+  const PathDiversityStats pb = path_diversity_at_distance(oft, 2);
+  EXPECT_EQ(pa.pairs, pb.pairs);
+  EXPECT_NEAR(pa.mean, pb.mean, 1e-9);
+  EXPECT_EQ(pa.max, pb.max);
+}
+
+TEST(Sspt, ScaleMatchesPaperFormula) {
+  // N = r^3/4 * (r2-1)/r2 + r^2/(2*r2), r = 2*r1 (Section 2.2.2).
+  for (const SptPattern& p : {make_spt_pattern_mesh(6), make_spt_pattern_ml3b(6)}) {
+    const Topology topo = build_sspt(p);
+    const double r = 2.0 * p.r1;
+    const double expected =
+        r * r * r / 4.0 * (p.r2 - 1) / p.r2 + r * r / (2.0 * p.r2);
+    EXPECT_DOUBLE_EQ(static_cast<double>(topo.num_nodes()), expected) << topo.name();
+  }
+}
+
+TEST(Sspt, SingleRadixAfterStacking) {
+  const Topology topo = build_sspt(make_spt_pattern_mesh(6));
+  for (int r = 0; r < topo.num_routers(); ++r) {
+    EXPECT_EQ(topo.network_degree(r) + topo.endpoints_of(r), 2 * 6);
+  }
+}
+
+TEST(Sspt, CounterpartPairsHaveR1Diversity) {
+  // Corresponding level-one routers in different copies share all their
+  // (merged) level-two neighbors: path diversity r1; all other pairs 1.
+  const SptPattern p = make_spt_pattern_ml3b(4);
+  const Topology topo = build_sspt(p);  // 2 copies
+  const auto counts = shortest_path_counts(topo);
+  const int n = topo.num_routers();
+  auto paths = [&](int a, int b) { return counts[static_cast<std::size_t>(a) * n + b]; };
+  EXPECT_EQ(paths(0, p.num_l1 + 0), p.r1);
+  EXPECT_EQ(paths(2, p.num_l1 + 2), p.r1);
+  EXPECT_EQ(paths(0, p.num_l1 + 1), 1);
+  EXPECT_EQ(paths(0, 1), 1);
+}
+
+TEST(Sspt, CustomCopyCountAndEndpoints) {
+  const Topology topo = build_sspt(make_spt_pattern_mesh(4), /*copies=*/2, /*endpoints=*/3);
+  EXPECT_EQ(topo.num_nodes(), 2 * 5 * 3);
+  // Same structure as the (4,2,3)-MLFM.
+  const Topology mlfm = build_mlfm(4, 2, 3);
+  EXPECT_EQ(topo.num_routers(), mlfm.num_routers());
+  EXPECT_EQ(topo.num_links(), mlfm.num_links());
+}
+
+TEST(Sspt, RejectsNonDivisibleStacking) {
+  // 2*r1/r2 must be integral for single-radix stacking; r1 = 4, r2 = 3 has
+  // no valid mesh/ML3B pattern anyway, so emulate via explicit copies.
+  const SptPattern p = make_spt_pattern_mesh(4);
+  EXPECT_THROW(build_sspt(p, 0), ArgumentError);
+}
+
+TEST(Sspt, GenericInstanceRunsThroughTheFullStack) {
+  // An SSPT that is NEITHER the MLFM nor the OFT: stack three copies of
+  // the mesh SPT (r1 = 6, r2 = 2 would give s = 6; force s = 3). The
+  // routing, VC and simulation machinery must handle it like any SSPT.
+  const Topology topo = build_sspt(make_spt_pattern_mesh(6), /*copies=*/3);
+  const MinimalTable table(topo);
+  const DistanceMatrix dist = all_pairs_distances(topo);
+  EXPECT_EQ(node_diameter(topo, dist), 2);
+
+  SimConfig cfg;
+  SimStack stack(topo, RoutingStrategy::kUgalThreshold, cfg);
+  UniformTraffic uni(topo.num_nodes());
+  const OpenLoopResult r = stack.run_open_loop(uni, 0.5, us(16), us(4));
+  EXPECT_NEAR(r.accepted_throughput, 0.5, 0.03);
+}
+
+TEST(Sspt, SpecBuildsSspt) {
+  const Topology t = build_topology_from_spec("sspt:r1=4,r2=2");
+  EXPECT_EQ(t.num_nodes(), build_mlfm(4).num_nodes());
+  const Topology t2 = build_topology_from_spec("sspt:r1=4,r2=4");
+  EXPECT_EQ(t2.num_nodes(), build_oft(4).num_nodes());
+  EXPECT_THROW(build_topology_from_spec("sspt:r1=6,r2=3"), ArgumentError);
+}
+
+}  // namespace
+}  // namespace d2net
