@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_a2a_schedule"
+  "../bench/bench_ablation_a2a_schedule.pdb"
+  "CMakeFiles/bench_ablation_a2a_schedule.dir/bench_ablation_a2a_schedule.cpp.o"
+  "CMakeFiles/bench_ablation_a2a_schedule.dir/bench_ablation_a2a_schedule.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_a2a_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

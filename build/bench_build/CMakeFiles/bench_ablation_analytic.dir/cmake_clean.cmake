@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_analytic"
+  "../bench/bench_ablation_analytic.pdb"
+  "CMakeFiles/bench_ablation_analytic.dir/bench_ablation_analytic.cpp.o"
+  "CMakeFiles/bench_ablation_analytic.dir/bench_ablation_analytic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

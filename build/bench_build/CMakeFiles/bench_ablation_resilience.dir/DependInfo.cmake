@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_resilience.cpp" "bench_build/CMakeFiles/bench_ablation_resilience.dir/bench_ablation_resilience.cpp.o" "gcc" "bench_build/CMakeFiles/bench_ablation_resilience.dir/bench_ablation_resilience.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench_build/CMakeFiles/d2net_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/d2net_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/d2net_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/d2net_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/d2net_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/d2net_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/d2net_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/d2net_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

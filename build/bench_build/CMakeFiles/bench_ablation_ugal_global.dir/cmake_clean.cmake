@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_ugal_global"
+  "../bench/bench_ablation_ugal_global.pdb"
+  "CMakeFiles/bench_ablation_ugal_global.dir/bench_ablation_ugal_global.cpp.o"
+  "CMakeFiles/bench_ablation_ugal_global.dir/bench_ablation_ugal_global.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ugal_global.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

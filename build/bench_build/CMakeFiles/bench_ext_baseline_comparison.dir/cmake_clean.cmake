@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_baseline_comparison"
+  "../bench/bench_ext_baseline_comparison.pdb"
+  "CMakeFiles/bench_ext_baseline_comparison.dir/bench_ext_baseline_comparison.cpp.o"
+  "CMakeFiles/bench_ext_baseline_comparison.dir/bench_ext_baseline_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_baseline_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

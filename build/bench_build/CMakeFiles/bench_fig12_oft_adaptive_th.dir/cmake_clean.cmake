@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_oft_adaptive_th"
+  "../bench/bench_fig12_oft_adaptive_th.pdb"
+  "CMakeFiles/bench_fig12_oft_adaptive_th.dir/bench_fig12_oft_adaptive_th.cpp.o"
+  "CMakeFiles/bench_fig12_oft_adaptive_th.dir/bench_fig12_oft_adaptive_th.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_oft_adaptive_th.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_nearest_neighbor"
+  "../bench/bench_fig14_nearest_neighbor.pdb"
+  "CMakeFiles/bench_fig14_nearest_neighbor.dir/bench_fig14_nearest_neighbor.cpp.o"
+  "CMakeFiles/bench_fig14_nearest_neighbor.dir/bench_fig14_nearest_neighbor.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_nearest_neighbor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig14_nearest_neighbor.
+# This may be replaced when dependencies are built.

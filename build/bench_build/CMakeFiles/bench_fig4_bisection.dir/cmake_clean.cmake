@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_bisection"
+  "../bench/bench_fig4_bisection.pdb"
+  "CMakeFiles/bench_fig4_bisection.dir/bench_fig4_bisection.cpp.o"
+  "CMakeFiles/bench_fig4_bisection.dir/bench_fig4_bisection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_bisection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_oblivious"
+  "../bench/bench_fig6_oblivious.pdb"
+  "CMakeFiles/bench_fig6_oblivious.dir/bench_fig6_oblivious.cpp.o"
+  "CMakeFiles/bench_fig6_oblivious.dir/bench_fig6_oblivious.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_oblivious.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_sf_adaptive"
+  "../bench/bench_fig7_sf_adaptive.pdb"
+  "CMakeFiles/bench_fig7_sf_adaptive.dir/bench_fig7_sf_adaptive.cpp.o"
+  "CMakeFiles/bench_fig7_sf_adaptive.dir/bench_fig7_sf_adaptive.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_sf_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

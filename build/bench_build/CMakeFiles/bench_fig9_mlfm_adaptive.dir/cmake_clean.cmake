@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_mlfm_adaptive"
+  "../bench/bench_fig9_mlfm_adaptive.pdb"
+  "CMakeFiles/bench_fig9_mlfm_adaptive.dir/bench_fig9_mlfm_adaptive.cpp.o"
+  "CMakeFiles/bench_fig9_mlfm_adaptive.dir/bench_fig9_mlfm_adaptive.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_mlfm_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_path_diversity"
+  "../bench/bench_path_diversity.pdb"
+  "CMakeFiles/bench_path_diversity.dir/bench_path_diversity.cpp.o"
+  "CMakeFiles/bench_path_diversity.dir/bench_path_diversity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_path_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

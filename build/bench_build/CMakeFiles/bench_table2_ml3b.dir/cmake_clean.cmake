@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_ml3b"
+  "../bench/bench_table2_ml3b.pdb"
+  "CMakeFiles/bench_table2_ml3b.dir/bench_table2_ml3b.cpp.o"
+  "CMakeFiles/bench_table2_ml3b.dir/bench_table2_ml3b.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_ml3b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

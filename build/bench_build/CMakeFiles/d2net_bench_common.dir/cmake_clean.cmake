@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d2net_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/d2net_bench_common.dir/bench_common.cpp.o.d"
+  "libd2net_bench_common.a"
+  "libd2net_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d2net_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exchange_planner.dir/exchange_planner.cpp.o"
+  "CMakeFiles/exchange_planner.dir/exchange_planner.cpp.o.d"
+  "exchange_planner"
+  "exchange_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exchange_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

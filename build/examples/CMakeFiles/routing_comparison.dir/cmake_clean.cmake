@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_comparison.dir/routing_comparison.cpp.o"
+  "CMakeFiles/routing_comparison.dir/routing_comparison.cpp.o.d"
+  "routing_comparison"
+  "routing_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

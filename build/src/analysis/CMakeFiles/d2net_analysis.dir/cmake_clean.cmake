@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d2net_analysis.dir/link_load.cpp.o"
+  "CMakeFiles/d2net_analysis.dir/link_load.cpp.o.d"
+  "CMakeFiles/d2net_analysis.dir/topology_report.cpp.o"
+  "CMakeFiles/d2net_analysis.dir/topology_report.cpp.o.d"
+  "libd2net_analysis.a"
+  "libd2net_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d2net_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d2net_common.dir/cli.cpp.o"
+  "CMakeFiles/d2net_common.dir/cli.cpp.o.d"
+  "CMakeFiles/d2net_common.dir/stats.cpp.o"
+  "CMakeFiles/d2net_common.dir/stats.cpp.o.d"
+  "CMakeFiles/d2net_common.dir/table.cpp.o"
+  "CMakeFiles/d2net_common.dir/table.cpp.o.d"
+  "libd2net_common.a"
+  "libd2net_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d2net_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

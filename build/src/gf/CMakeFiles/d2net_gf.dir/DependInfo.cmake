@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gf/galois_field.cpp" "src/gf/CMakeFiles/d2net_gf.dir/galois_field.cpp.o" "gcc" "src/gf/CMakeFiles/d2net_gf.dir/galois_field.cpp.o.d"
+  "/root/repo/src/gf/mols.cpp" "src/gf/CMakeFiles/d2net_gf.dir/mols.cpp.o" "gcc" "src/gf/CMakeFiles/d2net_gf.dir/mols.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/d2net_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

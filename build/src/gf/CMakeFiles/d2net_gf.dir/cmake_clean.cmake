@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d2net_gf.dir/galois_field.cpp.o"
+  "CMakeFiles/d2net_gf.dir/galois_field.cpp.o.d"
+  "CMakeFiles/d2net_gf.dir/mols.cpp.o"
+  "CMakeFiles/d2net_gf.dir/mols.cpp.o.d"
+  "libd2net_gf.a"
+  "libd2net_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d2net_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

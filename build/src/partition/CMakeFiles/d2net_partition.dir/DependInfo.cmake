@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/bisection_bandwidth.cpp" "src/partition/CMakeFiles/d2net_partition.dir/bisection_bandwidth.cpp.o" "gcc" "src/partition/CMakeFiles/d2net_partition.dir/bisection_bandwidth.cpp.o.d"
+  "/root/repo/src/partition/partitioner.cpp" "src/partition/CMakeFiles/d2net_partition.dir/partitioner.cpp.o" "gcc" "src/partition/CMakeFiles/d2net_partition.dir/partitioner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/d2net_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/d2net_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/d2net_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

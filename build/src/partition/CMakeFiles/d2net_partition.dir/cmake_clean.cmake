@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d2net_partition.dir/bisection_bandwidth.cpp.o"
+  "CMakeFiles/d2net_partition.dir/bisection_bandwidth.cpp.o.d"
+  "CMakeFiles/d2net_partition.dir/partitioner.cpp.o"
+  "CMakeFiles/d2net_partition.dir/partitioner.cpp.o.d"
+  "libd2net_partition.a"
+  "libd2net_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d2net_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/cdg.cpp" "src/routing/CMakeFiles/d2net_routing.dir/cdg.cpp.o" "gcc" "src/routing/CMakeFiles/d2net_routing.dir/cdg.cpp.o.d"
+  "/root/repo/src/routing/factory.cpp" "src/routing/CMakeFiles/d2net_routing.dir/factory.cpp.o" "gcc" "src/routing/CMakeFiles/d2net_routing.dir/factory.cpp.o.d"
+  "/root/repo/src/routing/minimal_routing.cpp" "src/routing/CMakeFiles/d2net_routing.dir/minimal_routing.cpp.o" "gcc" "src/routing/CMakeFiles/d2net_routing.dir/minimal_routing.cpp.o.d"
+  "/root/repo/src/routing/minimal_table.cpp" "src/routing/CMakeFiles/d2net_routing.dir/minimal_table.cpp.o" "gcc" "src/routing/CMakeFiles/d2net_routing.dir/minimal_table.cpp.o.d"
+  "/root/repo/src/routing/ugal_global_routing.cpp" "src/routing/CMakeFiles/d2net_routing.dir/ugal_global_routing.cpp.o" "gcc" "src/routing/CMakeFiles/d2net_routing.dir/ugal_global_routing.cpp.o.d"
+  "/root/repo/src/routing/ugal_routing.cpp" "src/routing/CMakeFiles/d2net_routing.dir/ugal_routing.cpp.o" "gcc" "src/routing/CMakeFiles/d2net_routing.dir/ugal_routing.cpp.o.d"
+  "/root/repo/src/routing/valiant_routing.cpp" "src/routing/CMakeFiles/d2net_routing.dir/valiant_routing.cpp.o" "gcc" "src/routing/CMakeFiles/d2net_routing.dir/valiant_routing.cpp.o.d"
+  "/root/repo/src/routing/vc_policy.cpp" "src/routing/CMakeFiles/d2net_routing.dir/vc_policy.cpp.o" "gcc" "src/routing/CMakeFiles/d2net_routing.dir/vc_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/d2net_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/d2net_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/d2net_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d2net_routing.dir/cdg.cpp.o"
+  "CMakeFiles/d2net_routing.dir/cdg.cpp.o.d"
+  "CMakeFiles/d2net_routing.dir/factory.cpp.o"
+  "CMakeFiles/d2net_routing.dir/factory.cpp.o.d"
+  "CMakeFiles/d2net_routing.dir/minimal_routing.cpp.o"
+  "CMakeFiles/d2net_routing.dir/minimal_routing.cpp.o.d"
+  "CMakeFiles/d2net_routing.dir/minimal_table.cpp.o"
+  "CMakeFiles/d2net_routing.dir/minimal_table.cpp.o.d"
+  "CMakeFiles/d2net_routing.dir/ugal_global_routing.cpp.o"
+  "CMakeFiles/d2net_routing.dir/ugal_global_routing.cpp.o.d"
+  "CMakeFiles/d2net_routing.dir/ugal_routing.cpp.o"
+  "CMakeFiles/d2net_routing.dir/ugal_routing.cpp.o.d"
+  "CMakeFiles/d2net_routing.dir/valiant_routing.cpp.o"
+  "CMakeFiles/d2net_routing.dir/valiant_routing.cpp.o.d"
+  "CMakeFiles/d2net_routing.dir/vc_policy.cpp.o"
+  "CMakeFiles/d2net_routing.dir/vc_policy.cpp.o.d"
+  "libd2net_routing.a"
+  "libd2net_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d2net_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

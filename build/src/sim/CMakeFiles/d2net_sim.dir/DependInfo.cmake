@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/exchange.cpp" "src/sim/CMakeFiles/d2net_sim.dir/exchange.cpp.o" "gcc" "src/sim/CMakeFiles/d2net_sim.dir/exchange.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/sim/CMakeFiles/d2net_sim.dir/experiment.cpp.o" "gcc" "src/sim/CMakeFiles/d2net_sim.dir/experiment.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/d2net_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/d2net_sim.dir/network.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/d2net_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/d2net_sim.dir/trace.cpp.o.d"
+  "/root/repo/src/sim/traffic.cpp" "src/sim/CMakeFiles/d2net_sim.dir/traffic.cpp.o" "gcc" "src/sim/CMakeFiles/d2net_sim.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/d2net_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/d2net_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/d2net_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/d2net_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

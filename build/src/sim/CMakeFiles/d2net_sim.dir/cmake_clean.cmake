@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d2net_sim.dir/exchange.cpp.o"
+  "CMakeFiles/d2net_sim.dir/exchange.cpp.o.d"
+  "CMakeFiles/d2net_sim.dir/experiment.cpp.o"
+  "CMakeFiles/d2net_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/d2net_sim.dir/network.cpp.o"
+  "CMakeFiles/d2net_sim.dir/network.cpp.o.d"
+  "CMakeFiles/d2net_sim.dir/trace.cpp.o"
+  "CMakeFiles/d2net_sim.dir/trace.cpp.o.d"
+  "CMakeFiles/d2net_sim.dir/traffic.cpp.o"
+  "CMakeFiles/d2net_sim.dir/traffic.cpp.o.d"
+  "libd2net_sim.a"
+  "libd2net_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d2net_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

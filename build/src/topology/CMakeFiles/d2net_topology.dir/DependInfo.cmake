@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/cost_model.cpp" "src/topology/CMakeFiles/d2net_topology.dir/cost_model.cpp.o" "gcc" "src/topology/CMakeFiles/d2net_topology.dir/cost_model.cpp.o.d"
+  "/root/repo/src/topology/degrade.cpp" "src/topology/CMakeFiles/d2net_topology.dir/degrade.cpp.o" "gcc" "src/topology/CMakeFiles/d2net_topology.dir/degrade.cpp.o.d"
+  "/root/repo/src/topology/dragonfly.cpp" "src/topology/CMakeFiles/d2net_topology.dir/dragonfly.cpp.o" "gcc" "src/topology/CMakeFiles/d2net_topology.dir/dragonfly.cpp.o.d"
+  "/root/repo/src/topology/fat_tree.cpp" "src/topology/CMakeFiles/d2net_topology.dir/fat_tree.cpp.o" "gcc" "src/topology/CMakeFiles/d2net_topology.dir/fat_tree.cpp.o.d"
+  "/root/repo/src/topology/hyperx.cpp" "src/topology/CMakeFiles/d2net_topology.dir/hyperx.cpp.o" "gcc" "src/topology/CMakeFiles/d2net_topology.dir/hyperx.cpp.o.d"
+  "/root/repo/src/topology/io.cpp" "src/topology/CMakeFiles/d2net_topology.dir/io.cpp.o" "gcc" "src/topology/CMakeFiles/d2net_topology.dir/io.cpp.o.d"
+  "/root/repo/src/topology/mlfm.cpp" "src/topology/CMakeFiles/d2net_topology.dir/mlfm.cpp.o" "gcc" "src/topology/CMakeFiles/d2net_topology.dir/mlfm.cpp.o.d"
+  "/root/repo/src/topology/oft.cpp" "src/topology/CMakeFiles/d2net_topology.dir/oft.cpp.o" "gcc" "src/topology/CMakeFiles/d2net_topology.dir/oft.cpp.o.d"
+  "/root/repo/src/topology/properties.cpp" "src/topology/CMakeFiles/d2net_topology.dir/properties.cpp.o" "gcc" "src/topology/CMakeFiles/d2net_topology.dir/properties.cpp.o.d"
+  "/root/repo/src/topology/slim_fly.cpp" "src/topology/CMakeFiles/d2net_topology.dir/slim_fly.cpp.o" "gcc" "src/topology/CMakeFiles/d2net_topology.dir/slim_fly.cpp.o.d"
+  "/root/repo/src/topology/spec.cpp" "src/topology/CMakeFiles/d2net_topology.dir/spec.cpp.o" "gcc" "src/topology/CMakeFiles/d2net_topology.dir/spec.cpp.o.d"
+  "/root/repo/src/topology/sspt.cpp" "src/topology/CMakeFiles/d2net_topology.dir/sspt.cpp.o" "gcc" "src/topology/CMakeFiles/d2net_topology.dir/sspt.cpp.o.d"
+  "/root/repo/src/topology/topology.cpp" "src/topology/CMakeFiles/d2net_topology.dir/topology.cpp.o" "gcc" "src/topology/CMakeFiles/d2net_topology.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/d2net_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/d2net_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

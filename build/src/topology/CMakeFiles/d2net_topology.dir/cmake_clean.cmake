@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d2net_topology.dir/cost_model.cpp.o"
+  "CMakeFiles/d2net_topology.dir/cost_model.cpp.o.d"
+  "CMakeFiles/d2net_topology.dir/degrade.cpp.o"
+  "CMakeFiles/d2net_topology.dir/degrade.cpp.o.d"
+  "CMakeFiles/d2net_topology.dir/dragonfly.cpp.o"
+  "CMakeFiles/d2net_topology.dir/dragonfly.cpp.o.d"
+  "CMakeFiles/d2net_topology.dir/fat_tree.cpp.o"
+  "CMakeFiles/d2net_topology.dir/fat_tree.cpp.o.d"
+  "CMakeFiles/d2net_topology.dir/hyperx.cpp.o"
+  "CMakeFiles/d2net_topology.dir/hyperx.cpp.o.d"
+  "CMakeFiles/d2net_topology.dir/io.cpp.o"
+  "CMakeFiles/d2net_topology.dir/io.cpp.o.d"
+  "CMakeFiles/d2net_topology.dir/mlfm.cpp.o"
+  "CMakeFiles/d2net_topology.dir/mlfm.cpp.o.d"
+  "CMakeFiles/d2net_topology.dir/oft.cpp.o"
+  "CMakeFiles/d2net_topology.dir/oft.cpp.o.d"
+  "CMakeFiles/d2net_topology.dir/properties.cpp.o"
+  "CMakeFiles/d2net_topology.dir/properties.cpp.o.d"
+  "CMakeFiles/d2net_topology.dir/slim_fly.cpp.o"
+  "CMakeFiles/d2net_topology.dir/slim_fly.cpp.o.d"
+  "CMakeFiles/d2net_topology.dir/spec.cpp.o"
+  "CMakeFiles/d2net_topology.dir/spec.cpp.o.d"
+  "CMakeFiles/d2net_topology.dir/sspt.cpp.o"
+  "CMakeFiles/d2net_topology.dir/sspt.cpp.o.d"
+  "CMakeFiles/d2net_topology.dir/topology.cpp.o"
+  "CMakeFiles/d2net_topology.dir/topology.cpp.o.d"
+  "libd2net_topology.a"
+  "libd2net_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d2net_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_link_load.dir/test_link_load.cpp.o"
+  "CMakeFiles/test_link_load.dir/test_link_load.cpp.o.d"
+  "test_link_load"
+  "test_link_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_link_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

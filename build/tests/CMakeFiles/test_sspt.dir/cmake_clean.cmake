@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sspt.dir/test_sspt.cpp.o"
+  "CMakeFiles/test_sspt.dir/test_sspt.cpp.o.d"
+  "test_sspt"
+  "test_sspt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sspt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_common "/root/repo/build/tests/test_common")
+set_tests_properties(test_common PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;11;d2net_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_gf "/root/repo/build/tests/test_gf")
+set_tests_properties(test_gf PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;12;d2net_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_topology "/root/repo/build/tests/test_topology")
+set_tests_properties(test_topology PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;13;d2net_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_partition "/root/repo/build/tests/test_partition")
+set_tests_properties(test_partition PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;14;d2net_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_routing "/root/repo/build/tests/test_routing")
+set_tests_properties(test_routing PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;15;d2net_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_sim "/root/repo/build/tests/test_sim")
+set_tests_properties(test_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;16;d2net_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_analysis "/root/repo/build/tests/test_analysis")
+set_tests_properties(test_analysis PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;17;d2net_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_sspt "/root/repo/build/tests/test_sspt")
+set_tests_properties(test_sspt PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;18;d2net_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_link_load "/root/repo/build/tests/test_link_load")
+set_tests_properties(test_link_load PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;19;d2net_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_sim_edge "/root/repo/build/tests/test_sim_edge")
+set_tests_properties(test_sim_edge PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;20;d2net_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_extensions "/root/repo/build/tests/test_extensions")
+set_tests_properties(test_extensions PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;21;d2net_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_properties "/root/repo/build/tests/test_properties")
+set_tests_properties(test_properties PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;22;d2net_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_dragonfly "/root/repo/build/tests/test_dragonfly")
+set_tests_properties(test_dragonfly PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;23;d2net_add_test;/root/repo/tests/CMakeLists.txt;0;")
