@@ -1,20 +1,38 @@
 #include "bench_common.h"
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 
+#include "common/error.h"
+#include "common/thread_pool.h"
+#include "sim/traffic.h"
 #include "topology/mlfm.h"
 #include "topology/oft.h"
 #include "topology/slim_fly.h"
 
 namespace d2net::bench {
 
+SweepRunOptions BenchOptions::sweep_options() const {
+  SweepRunOptions out;
+  out.jobs = jobs;
+  out.config.seed = seed;
+  out.duration = duration;
+  out.warmup = warmup;
+  return out;
+}
+
 void add_standard_flags(Cli& cli) {
   cli.flag("full", false, "run the paper-exact configurations (q=13/h=15/k=12; slow)")
       .flag("duration-us", 16.0, "simulated time per load point, microseconds")
       .flag("warmup-us", 4.0, "statistics warm-up, microseconds")
       .flag("seed", std::int64_t{1}, "simulation seed")
-      .flag("csv", false, "also print CSV after each table");
+      .flag("csv", false, "also print CSV after each table")
+      .flag("jobs", std::int64_t{0},
+            "concurrent sweep points (0 = all hardware threads); results "
+            "are identical for every value")
+      .flag("json", std::string{},
+            "write per-sweep timing/result JSON to this path");
 }
 
 BenchOptions read_standard_flags(const Cli& cli) {
@@ -24,6 +42,9 @@ BenchOptions read_standard_flags(const Cli& cli) {
   opts.warmup = us(cli.get_double("warmup-us"));
   opts.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   opts.csv = cli.get_bool("csv");
+  opts.jobs = static_cast<int>(cli.get_int("jobs"));
+  D2NET_REQUIRE(opts.jobs >= 0, "--jobs must be >= 0");
+  opts.json_path = cli.get_string("json");
   if (opts.full) {
     // The paper simulates 200 us with a 20 us warm-up; scale up unless the
     // user overrode the defaults.
@@ -47,6 +68,96 @@ std::vector<SystemConfig> paper_systems(bool full) {
   out.push_back({"OFT", paper_oft(full)});
   return out;
 }
+
+// ------------------------------------------------------------- BenchReport
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+BenchReport::BenchReport(std::string bench_name, const BenchOptions& opts)
+    : bench_name_(std::move(bench_name)), opts_(opts) {
+  // Fail before the sweep runs, not after: a long --full run should not
+  // discover an unwritable --json path at the very end.
+  if (!opts_.json_path.empty()) {
+    std::ofstream probe(opts_.json_path);
+    D2NET_REQUIRE(probe.good(), "cannot open --json path: " + opts_.json_path);
+  }
+}
+
+void BenchReport::add_sweep(const std::string& title,
+                            const std::vector<std::string>& labels,
+                            const std::vector<std::vector<SweepPoint>>& series,
+                            const SweepRunStats& stats) {
+  sweeps_.push_back({title, labels, series, stats});
+}
+
+void BenchReport::write() const {
+  if (opts_.json_path.empty()) return;
+  std::ofstream os(opts_.json_path);
+  D2NET_REQUIRE(os.good(), "cannot open --json path: " + opts_.json_path);
+  os.precision(10);
+  os << "{\n";
+  os << "  \"bench\": \"" << json_escape(bench_name_) << "\",\n";
+  os << "  \"jobs\": " << (sweeps_.empty() ? opts_.jobs : sweeps_.front().stats.jobs)
+     << ",\n";
+  os << "  \"seed\": " << opts_.seed << ",\n";
+  os << "  \"full\": " << (opts_.full ? "true" : "false") << ",\n";
+  os << "  \"duration_us\": " << to_us(opts_.duration) << ",\n";
+  os << "  \"warmup_us\": " << to_us(opts_.warmup) << ",\n";
+  os << "  \"sweeps\": [";
+  for (std::size_t i = 0; i < sweeps_.size(); ++i) {
+    const SweepRecord& sw = sweeps_[i];
+    os << (i ? ",\n" : "\n");
+    os << "    {\"title\": \"" << json_escape(sw.title) << "\",\n";
+    os << "     \"wall_seconds\": " << sw.stats.wall_seconds << ",\n";
+    os << "     \"events\": " << sw.stats.events << ",\n";
+    os << "     \"events_per_second\": " << sw.stats.events_per_second() << ",\n";
+    os << "     \"points\": " << sw.stats.points << ",\n";
+    os << "     \"series\": [";
+    for (std::size_t s = 0; s < sw.series.size(); ++s) {
+      os << (s ? ",\n" : "\n");
+      os << "       {\"label\": \""
+         << json_escape(s < sw.labels.size() ? sw.labels[s] : "") << "\", \"points\": [";
+      for (std::size_t p = 0; p < sw.series[s].size(); ++p) {
+        const SweepPoint& pt = sw.series[s][p];
+        os << (p ? ", " : "")
+           << "{\"load\": " << pt.offered
+           << ", \"throughput\": " << pt.result.accepted_throughput
+           << ", \"avg_latency_ns\": " << pt.result.avg_latency_ns
+           << ", \"p99_latency_ns\": " << pt.result.p99_latency_ns
+           << ", \"packets_measured\": " << pt.result.packets_measured << "}";
+      }
+      os << "]}";
+    }
+    os << "]}";
+  }
+  os << "\n  ]\n}\n";
+  D2NET_REQUIRE(os.good(), "failed writing --json output: " + opts_.json_path);
+}
+
+// ---------------------------------------------------------- sweep running
 
 void print_sweep_table(const std::string& title,
                        const std::vector<std::string>& series_labels,
@@ -77,6 +188,27 @@ void print_sweep_table(const std::string& title,
   std::printf("\n");
 }
 
+std::vector<std::vector<SweepPoint>> run_and_print_sweep(
+    const std::string& title, const std::vector<SweepSeriesSpec>& specs,
+    const BenchOptions& opts, BenchReport* report) {
+  D2NET_REQUIRE(!specs.empty(), "sweep needs at least one series");
+  for (const SweepSeriesSpec& s : specs) {
+    D2NET_REQUIRE(s.loads == specs.front().loads,
+                  "all series of one printed sweep must share a load grid");
+  }
+  SweepRunner runner(opts.sweep_options());
+  auto series = runner.run(specs);
+  std::vector<std::string> labels;
+  for (const SweepSeriesSpec& s : specs) labels.push_back(s.label);
+  print_sweep_table(title, labels, specs.front().loads, series, opts.csv);
+  const SweepRunStats& st = runner.stats();
+  std::printf("timing: %.2fs wall, %d jobs, %lld events, %.2fM events/s\n",
+              st.wall_seconds, st.jobs, static_cast<long long>(st.events),
+              st.events_per_second() / 1e6);
+  if (report != nullptr) report->add_sweep(title, labels, series, st);
+  return series;
+}
+
 std::vector<double> bench_uniform_loads() {
   return {0.1, 0.3, 0.5, 0.7, 0.8, 0.9, 0.95, 1.0};
 }
@@ -86,33 +218,35 @@ std::vector<double> bench_adversarial_loads() {
 }
 
 void run_adaptive_figure(const Topology& topo, const AdaptiveFigureSpec& spec,
-                         const BenchOptions& opts) {
-  SimConfig cfg;
-  cfg.seed = opts.seed;
-  const MinimalTable table(topo);  // only for the WC pattern construction
+                         const BenchOptions& opts, BenchReport* report) {
+  const auto table = std::make_shared<const MinimalTable>(topo);
   Rng rng(opts.seed);
-  const auto wc = make_worst_case(topo, table, rng);
+  const auto wc = make_worst_case(topo, *table, rng);
   const UniformTraffic uni(topo.num_nodes());
   const bool threshold = spec.strategy == RoutingStrategy::kUgalThreshold;
 
-  auto run_variant = [&](const UgalParams& params, const TrafficPattern& pattern,
-                         const std::vector<double>& loads) {
-    SimStack stack(topo, spec.strategy, cfg, params);
-    return run_load_sweep(stack, pattern, loads, opts.duration, opts.warmup);
-  };
-
-  auto panel = [&](const std::string& subtitle, auto make_params,
+  auto panel = [&](const std::string& subtitle,
+                   const std::function<UgalParams(std::size_t)>& make_params,
                    const std::vector<std::string>& labels) {
     for (const auto* pat : {static_cast<const TrafficPattern*>(&uni),
                             static_cast<const TrafficPattern*>(wc.get())}) {
       const bool is_uni = pat == &uni;
       const auto& loads = is_uni ? bench_uniform_loads() : bench_adversarial_loads();
-      std::vector<std::vector<SweepPoint>> series;
+      std::vector<SweepSeriesSpec> specs;
       for (std::size_t v = 0; v < labels.size(); ++v) {
-        series.push_back(run_variant(make_params(v), *pat, loads));
+        SweepSeriesSpec s;
+        s.label = labels[v];
+        s.topo = &topo;
+        s.table = table;
+        s.strategy = spec.strategy;
+        s.params = make_params(v);
+        s.pattern = pat;
+        s.loads = loads;
+        specs.push_back(std::move(s));
       }
-      print_sweep_table(spec.title + " — " + subtitle + (is_uni ? " — UNI" : " — WC"), labels,
-                        loads, series, opts.csv);
+      run_and_print_sweep(
+          spec.title + " — " + subtitle + (is_uni ? " — UNI" : " — WC"), specs, opts,
+          report);
     }
   };
 

@@ -1,6 +1,7 @@
 // Shared plumbing for the per-figure bench binaries: standard flags, the
 // paper's four topology configurations (scaled-down defaults + --full for
-// the exact Section 4.1 systems), and sweep table printing.
+// the exact Section 4.1 systems), parallel sweep execution (--jobs), sweep
+// table printing, and machine-readable perf/result JSON (--json).
 #pragma once
 
 #include <functional>
@@ -11,6 +12,7 @@
 #include "common/cli.h"
 #include "common/table.h"
 #include "sim/experiment.h"
+#include "sim/sweep_runner.h"
 #include "topology/topology.h"
 
 namespace d2net::bench {
@@ -22,6 +24,12 @@ struct BenchOptions {
   TimePs warmup = 0;
   std::uint64_t seed = 1;
   bool csv = false;          ///< additionally dump CSV after each table
+  int jobs = 0;              ///< sweep-point parallelism; 0 = all cores
+  std::string json_path;     ///< write timing/result JSON here ("" = off)
+
+  /// SweepRunner options carrying these settings (seed becomes the base
+  /// seed for per-point derivation).
+  SweepRunOptions sweep_options() const;
 };
 
 /// Registers the standard flags on a Cli.
@@ -46,12 +54,53 @@ Topology paper_slim_fly(bool full, bool ceil_p);
 Topology paper_mlfm(bool full);
 Topology paper_oft(bool full);
 
+/// Accumulates one record per executed sweep and (if --json was given)
+/// writes a single JSON document on write():
+///   {"bench": ..., "jobs": N, "seed": S, "full": bool,
+///    "duration_us": ..., "warmup_us": ...,
+///    "sweeps": [{"title": ..., "wall_seconds": ..., "events": ...,
+///                "events_per_second": ..., "points": N,
+///                "series": [{"label": ..., "points": [{"load": ...,
+///                  "throughput": ..., "avg_latency_ns": ...,
+///                  "p99_latency_ns": ..., "packets_measured": ...}]}]}]}
+class BenchReport {
+ public:
+  BenchReport(std::string bench_name, const BenchOptions& opts);
+
+  void add_sweep(const std::string& title, const std::vector<std::string>& labels,
+                 const std::vector<std::vector<SweepPoint>>& series,
+                 const SweepRunStats& stats);
+
+  /// Writes the document to opts.json_path; no-op when the flag was unset.
+  void write() const;
+
+ private:
+  struct SweepRecord {
+    std::string title;
+    std::vector<std::string> labels;
+    std::vector<std::vector<SweepPoint>> series;
+    SweepRunStats stats;
+  };
+
+  std::string bench_name_;
+  BenchOptions opts_;
+  std::vector<SweepRecord> sweeps_;
+};
+
 /// Prints a sweep as the paper's two panels: throughput and mean delay vs
 /// offered load, one row per load, one series per label.
 void print_sweep_table(const std::string& title,
                        const std::vector<std::string>& series_labels,
                        const std::vector<double>& loads,
                        const std::vector<std::vector<SweepPoint>>& series, bool csv);
+
+/// Runs every (series, load) point of `specs` through a SweepRunner with
+/// opts.jobs workers, prints the table (all specs must share one load
+/// grid), logs wall-clock/events-per-second, and appends to `report` when
+/// non-null. Results are deterministic and independent of opts.jobs.
+std::vector<std::vector<SweepPoint>> run_and_print_sweep(
+    const std::string& title, const std::vector<SweepSeriesSpec>& specs,
+    const BenchOptions& opts, BenchReport* report);
 
 /// Default offered-load grids for the bench binaries (coarser than the
 /// library's, sized for a single-core host).
@@ -72,6 +121,6 @@ struct AdaptiveFigureSpec {
 
 /// Runs and prints one adaptive figure for the given topology.
 void run_adaptive_figure(const Topology& topo, const AdaptiveFigureSpec& spec,
-                         const BenchOptions& opts);
+                         const BenchOptions& opts, BenchReport* report = nullptr);
 
 }  // namespace d2net::bench

@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
   add_standard_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
   const BenchOptions opts = read_standard_flags(cli);
+  BenchReport report("bench_fig10_oft_adaptive", opts);
 
   AdaptiveFigureSpec spec;
   spec.title = "Fig. 10 OFT-A";
@@ -20,6 +21,7 @@ int main(int argc, char** argv) {
   spec.fixed_c = 2.0;
   spec.c_values = {0.5, 2.0, 8.0};
   spec.fixed_ni = 1;
-  run_adaptive_figure(paper_oft(opts.full), spec, opts);
+  run_adaptive_figure(paper_oft(opts.full), spec, opts, &report);
+  report.write();
   return 0;
 }

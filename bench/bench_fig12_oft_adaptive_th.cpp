@@ -10,6 +10,7 @@ int main(int argc, char** argv) {
   add_standard_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
   const BenchOptions opts = read_standard_flags(cli);
+  BenchReport report("bench_fig12_oft_adaptive_th", opts);
 
   AdaptiveFigureSpec spec;
   spec.title = "Fig. 12 OFT-ATh";
@@ -18,6 +19,7 @@ int main(int argc, char** argv) {
   spec.fixed_c = 2.0;
   spec.c_values = {0.5, 2.0, 8.0};
   spec.fixed_ni = 1;
-  run_adaptive_figure(paper_oft(opts.full), spec, opts);
+  run_adaptive_figure(paper_oft(opts.full), spec, opts, &report);
+  report.write();
   return 0;
 }

@@ -5,7 +5,11 @@
 // Expected shape: MIN/UNI saturates at ~96-98% (SF p=ceil ~87%); MIN/WC
 // collapses to ~1/2p (SF), 1/h (MLFM), 1/k (OFT); INR halves the uniform
 // saturation and lifts the worst case to the same ~50% level.
+//
+// Every (system, routing, load) point is an independent simulation; they
+// run concurrently under --jobs with results identical to a serial run.
 #include <cstdio>
+#include <memory>
 
 #include "bench_common.h"
 #include "common/rng.h"
@@ -19,30 +23,42 @@ int main(int argc, char** argv) {
   add_standard_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
   const BenchOptions opts = read_standard_flags(cli);
+  BenchReport report("bench_fig6_oblivious", opts);
 
-  SimConfig cfg;
-  cfg.seed = opts.seed;
+  const auto systems = paper_systems(opts.full);
+  // Precompute each system's minimal table and traffic patterns once; all
+  // sweep points share them read-only.
+  std::vector<std::shared_ptr<const MinimalTable>> tables;
+  std::vector<std::unique_ptr<PermutationTraffic>> wc_patterns;
+  std::vector<std::unique_ptr<UniformTraffic>> uni_patterns;
+  for (const auto& sys : systems) {
+    tables.push_back(std::make_shared<const MinimalTable>(sys.topo));
+    Rng rng(opts.seed);
+    wc_patterns.push_back(make_worst_case(sys.topo, *tables.back(), rng));
+    uni_patterns.push_back(std::make_unique<UniformTraffic>(sys.topo.num_nodes()));
+  }
 
   for (const bool worst_case : {false, true}) {
     const auto loads = worst_case ? bench_adversarial_loads() : bench_uniform_loads();
-    std::vector<std::string> labels;
-    std::vector<std::vector<SweepPoint>> series;
-    for (const auto& sys : paper_systems(opts.full)) {
-      const MinimalTable table(sys.topo);
-      Rng rng(opts.seed);
-      const auto wc = make_worst_case(sys.topo, table, rng);
-      const UniformTraffic uni(sys.topo.num_nodes());
-      const TrafficPattern& pattern =
-          worst_case ? static_cast<const TrafficPattern&>(*wc)
-                     : static_cast<const TrafficPattern&>(uni);
+    std::vector<SweepSeriesSpec> specs;
+    for (std::size_t i = 0; i < systems.size(); ++i) {
       for (RoutingStrategy s : {RoutingStrategy::kMinimal, RoutingStrategy::kValiant}) {
-        SimStack stack(sys.topo, s, cfg);
-        labels.push_back(sys.label + " " + to_string(s));
-        series.push_back(run_load_sweep(stack, pattern, loads, opts.duration, opts.warmup));
+        SweepSeriesSpec spec;
+        spec.label = systems[i].label + " " + to_string(s);
+        spec.topo = &systems[i].topo;
+        spec.table = tables[i];
+        spec.strategy = s;
+        spec.pattern = worst_case
+                           ? static_cast<const TrafficPattern*>(wc_patterns[i].get())
+                           : static_cast<const TrafficPattern*>(uni_patterns[i].get());
+        spec.loads = loads;
+        specs.push_back(std::move(spec));
       }
     }
-    print_sweep_table(std::string("Fig. 6") + (worst_case ? "b — worst-case" : "a — uniform"),
-                      labels, loads, series, opts.csv);
+    run_and_print_sweep(
+        std::string("Fig. 6") + (worst_case ? "b — worst-case" : "a — uniform"), specs,
+        opts, &report);
   }
+  report.write();
   return 0;
 }

@@ -11,6 +11,7 @@ int main(int argc, char** argv) {
   add_standard_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
   const BenchOptions opts = read_standard_flags(cli);
+  BenchReport report("bench_fig8_sf_adaptive_th", opts);
 
   AdaptiveFigureSpec spec;
   spec.title = "Fig. 8 SF-ATh";
@@ -19,6 +20,7 @@ int main(int argc, char** argv) {
   spec.fixed_c = 1.0;
   spec.c_values = {0.25, 1.0, 4.0};
   spec.fixed_ni = 4;
-  run_adaptive_figure(paper_slim_fly(opts.full, /*ceil_p=*/false), spec, opts);
+  run_adaptive_figure(paper_slim_fly(opts.full, /*ceil_p=*/false), spec, opts, &report);
+  report.write();
   return 0;
 }

@@ -96,6 +96,31 @@ void BM_EventQueue(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueue);
 
+void BM_EventQueueStress(benchmark::State& state) {
+  // Simulator-shaped stress: the heap stays around `resident` entries while
+  // pushes and pops interleave, so sift costs reflect steady-state depth
+  // rather than a single fill/drain ramp.
+  const int resident = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    EventQueue q;
+    q.reserve(resident + 8);
+    Rng rng(1);
+    TimePs now = 0;
+    for (int i = 0; i < resident; ++i) {
+      q.push(static_cast<TimePs>(rng.next_below(1 << 12)), EventType::kNicFree, i);
+    }
+    for (int i = 0; i < 1 << 16; ++i) {
+      const Event e = q.pop();
+      now = e.time;
+      // Reschedule a short distance ahead, as packet events do.
+      q.push(now + 1 + static_cast<TimePs>(rng.next_below(1 << 10)),
+             EventType::kNicFree, e.a);
+      benchmark::DoNotOptimize(now);
+    }
+  }
+}
+BENCHMARK(BM_EventQueueStress)->Arg(1 << 8)->Arg(1 << 12)->Unit(benchmark::kMillisecond);
+
 void BM_Bisection(benchmark::State& state) {
   const Topology topo = build_mlfm(7);
   for (auto _ : state) {

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 CI: a clean release build with the full ctest suite, then a
+# ThreadSanitizer build that runs the parallel-sweep determinism test to
+# prove the sweep runner is race-free (not just accidentally ordered).
+#
+#   scripts/ci.sh            # both stages, build trees under build-ci*/
+#   SKIP_TSAN=1 scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+
+echo "=== stage 1: build + full test suite ==="
+cmake -B build-ci -S . >/dev/null
+cmake --build build-ci -j "$JOBS"
+ctest --test-dir build-ci --output-on-failure -j "$JOBS"
+
+if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
+  echo "=== stage 2: ThreadSanitizer determinism check ==="
+  cmake -B build-ci-tsan -S . -DD2NET_SANITIZE=thread >/dev/null
+  cmake --build build-ci-tsan -j "$JOBS" --target test_sweep_runner
+  TSAN_OPTIONS="halt_on_error=1" ./build-ci-tsan/tests/test_sweep_runner
+fi
+
+echo "CI OK"

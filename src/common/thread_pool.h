@@ -1,0 +1,59 @@
+// Minimal fixed-size thread pool for embarrassingly parallel experiment
+// fan-out (one task per simulation point). Tasks are plain
+// std::function<void()>; ordering across tasks is never relied upon —
+// callers that need deterministic output index into pre-sized result
+// vectors instead.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace d2net {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task. Tasks must not throw (exceptions would tear down
+  /// the worker); wrap fallible work and capture errors into the result.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void wait_idle();
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// std::thread::hardware_concurrency with a >= 1 guarantee.
+  static int hardware_concurrency();
+
+  /// Runs body(0) .. body(n-1) across the pool plus the calling thread and
+  /// returns when all are done. Indices are claimed from a shared counter,
+  /// so any thread may run any index; bodies touching disjoint state need
+  /// no further synchronization.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;   ///< signalled on submit/stop
+  std::condition_variable cv_idle_;   ///< signalled when a task finishes
+  std::size_t in_flight_ = 0;         ///< queued + executing tasks
+  bool stop_ = false;
+};
+
+}  // namespace d2net

@@ -8,12 +8,16 @@ MinimalRouting::MinimalRouting(const MinimalTable& table, VcPolicy policy)
     : table_(table), policy_(policy) {}
 
 Route MinimalRouting::route(int src_router, int dst_router, Rng& rng) const {
-  D2NET_REQUIRE(src_router != dst_router, "route() needs distinct routers");
   Route r;
-  r.routers = table_.sample_path(src_router, dst_router, rng);
-  r.intermediate_pos = -1;
-  assign_vcs(r, policy_);
+  route_into(src_router, dst_router, rng, r);
   return r;
+}
+
+void MinimalRouting::route_into(int src_router, int dst_router, Rng& rng, Route& out) const {
+  D2NET_REQUIRE(src_router != dst_router, "route() needs distinct routers");
+  table_.sample_path_into(src_router, dst_router, rng, out.routers);
+  out.intermediate_pos = -1;
+  assign_vcs(out, policy_);
 }
 
 int MinimalRouting::num_vcs() const {

@@ -17,6 +17,7 @@ class MinimalRouting final : public RoutingAlgorithm {
   MinimalRouting(const MinimalTable& table, VcPolicy policy);
 
   Route route(int src_router, int dst_router, Rng& rng) const override;
+  void route_into(int src_router, int dst_router, Rng& rng, Route& out) const override;
   int num_vcs() const override;
   std::string name() const override { return "MIN"; }
 

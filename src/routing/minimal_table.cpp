@@ -65,15 +65,21 @@ MinimalTable::MinimalTable(const Topology& topo) : n_(topo.num_routers()) {
 }
 
 std::vector<int> MinimalTable::sample_path(int a, int b, Rng& rng) const {
-  std::vector<int> path{a};
+  std::vector<int> path;
+  sample_path_into(a, b, rng, path);
+  return path;
+}
+
+void MinimalTable::sample_path_into(int a, int b, Rng& rng, std::vector<int>& out) const {
+  out.clear();
+  out.push_back(a);
   int cur = a;
   while (cur != b) {
     const auto nh = next_hops(cur, b);
     D2NET_ASSERT(!nh.empty(), "no next hop on minimal path");
     cur = nh[rng.next_below(nh.size())];
-    path.push_back(cur);
+    out.push_back(cur);
   }
-  return path;
 }
 
 void MinimalTable::enumerate_paths(int a, int b, std::vector<std::vector<int>>& out) const {

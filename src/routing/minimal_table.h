@@ -32,6 +32,10 @@ class MinimalTable {
   /// every step. Returns {a} when a == b.
   std::vector<int> sample_path(int a, int b, Rng& rng) const;
 
+  /// Allocation-free variant: writes the sampled path into `out` (cleared
+  /// first, capacity reused) for the simulator's per-packet hot path.
+  void sample_path_into(int a, int b, Rng& rng, std::vector<int>& out) const;
+
   /// Appends all minimal paths a -> b to `out` (each path includes both
   /// endpoints). Exponential in principle but bounded by the tiny path
   /// diversity of the studied networks; used by the deadlock checker.

@@ -62,6 +62,13 @@ class RoutingAlgorithm {
   /// Computes a route from src_router to dst_router (src != dst).
   virtual Route route(int src_router, int dst_router, Rng& rng) const = 0;
 
+  /// Writes the route into `out` (cleared first), reusing its vector
+  /// capacity. The default falls back to route(); hot-path algorithms
+  /// override it to avoid the per-packet allocation.
+  virtual void route_into(int src_router, int dst_router, Rng& rng, Route& out) const {
+    out = route(src_router, dst_router, rng);
+  }
+
   /// Upper bound on VC indices this algorithm emits, for simulator sizing.
   virtual int num_vcs() const = 0;
 

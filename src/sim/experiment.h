@@ -29,18 +29,25 @@ class SimStack {
   SimStack(const Topology& topo, RoutingStrategy strategy, const SimConfig& cfg,
            std::optional<UgalParams> params = std::nullopt);
 
+  /// Shares a precomputed minimal table instead of rebuilding the all-pairs
+  /// BFS per stack — the parallel sweep runner constructs one stack per
+  /// in-flight point, all referencing one immutable table per system.
+  SimStack(const Topology& topo, std::shared_ptr<const MinimalTable> table,
+           RoutingStrategy strategy, const SimConfig& cfg,
+           std::optional<UgalParams> params = std::nullopt);
+
   OpenLoopResult run_open_loop(const TrafficPattern& pattern, double load, TimePs duration,
                                TimePs warmup);
   ExchangeResult run_exchange(const ExchangePlan& plan, TimePs time_limit);
 
   const Topology& topology() const { return topo_; }
-  const MinimalTable& table() const { return table_; }
+  const MinimalTable& table() const { return *table_; }
   const RoutingAlgorithm& routing() const { return *algo_; }
   NetworkSim& sim() { return sim_; }
 
  private:
   const Topology& topo_;
-  MinimalTable table_;
+  std::shared_ptr<const MinimalTable> table_;
   NetworkSim sim_;
   std::unique_ptr<RoutingAlgorithm> algo_;
 };

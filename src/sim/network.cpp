@@ -83,17 +83,32 @@ NetworkSim::NetworkSim(const Topology& topo, const SimConfig& cfg, int num_vcs)
       ip.peer_node = topo.node_base(r) + j;
     }
   }
+  // Allocate the VC/VOQ structure once; reset() only clears it in place, so
+  // back-to-back runs on one instance do no structural allocation.
+  for (RouterState& rs : routers_) {
+    const int num_out = static_cast<int>(rs.out_ports.size());
+    for (InPort& ip : rs.in_ports) {
+      ip.vcs.resize(num_vcs_);
+      for (InVc& vc : ip.vcs) {
+        vc.voq.resize(num_out);
+        vc.in_ready.assign(num_out, 0);
+      }
+    }
+    for (OutPort& op : rs.out_ports) {
+      op.credits.resize(op.to_node ? 0 : num_vcs_);
+    }
+  }
+  for (NicState& nic : nics_) nic.credits.resize(num_vcs_);
+  queue_.reserve(static_cast<std::size_t>(topo.num_nodes()) * 8);
   reset();
 }
 
 void NetworkSim::reset() {
   for (RouterState& rs : routers_) {
-    const int num_out = static_cast<int>(rs.out_ports.size());
     for (InPort& ip : rs.in_ports) {
-      ip.vcs.assign(num_vcs_, InVc{});
       for (InVc& vc : ip.vcs) {
-        vc.voq.resize(num_out);
-        vc.in_ready.assign(num_out, 0);
+        for (auto& fifo : vc.voq) fifo.clear();
+        std::fill(vc.in_ready.begin(), vc.in_ready.end(), 0);
       }
     }
     for (OutPort& op : rs.out_ports) {
@@ -101,19 +116,20 @@ void NetworkSim::reset() {
       op.queued_bytes = 0;
       op.bytes_sent_window = 0;
       op.ready.clear();
-      op.credits.assign(op.to_node ? 0 : num_vcs_, vc_buffer_bytes_);
+      std::fill(op.credits.begin(), op.credits.end(), vc_buffer_bytes_);
     }
   }
   for (NicState& nic : nics_) {
     nic.free_at = 0;
-    nic.credits.assign(num_vcs_, vc_buffer_bytes_);
+    std::fill(nic.credits.begin(), nic.credits.end(), vc_buffer_bytes_);
     nic.pending.clear();
     nic.messages.clear();
     nic.cursor = 0;
   }
-  pool_ = PacketPool{};
-  queue_ = EventQueue{};
+  pool_.recycle_all();
+  queue_.clear();
   now_ = 0;
+  events_processed_ = 0;
   ejected_bytes_window_ = 0;
   ejected_per_node_.assign(topo_.num_nodes(), 0);
   packets_injected_ = 0;
@@ -174,23 +190,29 @@ bool NetworkSim::start_injection(int node, int dst, int size, TimePs gen_time,
   const int src_router = nic.router;
   const int dst_router = topo_.router_of_node(dst);
 
-  Route route;
-  if (dst_router == src_router) {
-    route.routers = {src_router};
-  } else {
-    route = routing_->route(src_router, dst_router, rng_);
-  }
-  const int vc0 = route.vcs.empty() ? 0 : route.vcs.front();
-  if (nic.credits[vc0] < size) return false;  // stall; retried on credit return
-
+  // Route directly into the pooled packet's Route so its vector capacity is
+  // reused across packets (no per-packet allocation in steady state).
   const int pkt_id = pool_.alloc();
   Packet& pkt = pool_[pkt_id];
+  Route& route = pkt.route;
+  if (dst_router == src_router) {
+    route.routers.assign(1, src_router);
+    route.vcs.clear();
+    route.intermediate_pos = -1;
+  } else {
+    routing_->route_into(src_router, dst_router, rng_, route);
+  }
+  const int vc0 = route.vcs.empty() ? 0 : route.vcs.front();
+  if (nic.credits[vc0] < size) {
+    pool_.release(pkt_id);
+    return false;  // stall; retried on credit return
+  }
+
   pkt.src_node = node;
   pkt.dst_node = dst;
   pkt.size = size;
   pkt.gen_time = gen_time;
   pkt.inject_time = now;
-  pkt.route = std::move(route);
   pkt.hop = 0;
   pkt.msg_id = msg_id;
 
@@ -405,6 +427,7 @@ void NetworkSim::run_until(TimePs end) {
     const Event e = queue_.pop();
     now_ = e.time;
     dispatch(e);
+    ++events_processed_;
   }
 }
 
@@ -439,6 +462,7 @@ OpenLoopResult NetworkSim::run_open_loop(const TrafficPattern& pattern, double l
   res.p99_latency_ns = latency_ns_.percentile(99);
   res.packets_measured = latency_ns_.count();
   res.packets_injected = packets_injected_;
+  res.events_processed = events_processed_;
   res.avg_hops = hops_.mean();
   res.fraction_minimal =
       packets_injected_ > 0

@@ -49,6 +49,9 @@ struct OpenLoopResult {
   double p99_latency_ns = 0.0;
   std::int64_t packets_measured = 0;
   std::int64_t packets_injected = 0;
+  /// Discrete events dispatched during the run (engine-speed denominator
+  /// for the benches' events/sec reporting).
+  std::int64_t events_processed = 0;
   double avg_hops = 0.0;
   /// Share of packets the routing algorithm sent minimally (1.0 for MIN).
   double fraction_minimal = 0.0;
@@ -135,6 +138,8 @@ class NetworkSim final : public PortLoadProvider {
   const Topology& topology() const { return topo_; }
   const SimConfig& config() const { return cfg_; }
   int num_vcs() const { return num_vcs_; }
+  /// Events dispatched by the last (or current) run.
+  std::int64_t events_processed() const { return events_processed_; }
 
  private:
   // --- state types ---
@@ -219,6 +224,7 @@ class NetworkSim final : public PortLoadProvider {
   EventQueue queue_;
   Rng rng_{1};
   TimePs now_ = 0;
+  std::int64_t events_processed_ = 0;
 
   // open-loop bookkeeping
   const TrafficPattern* pattern_ = nullptr;

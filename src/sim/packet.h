@@ -29,6 +29,9 @@ struct Packet {
 };
 
 /// Index-based free-list pool: packet ids stay valid across vector growth.
+/// Released packets keep their Route vector capacity so steady-state
+/// operation allocates nothing per packet (the simulator rewrites every
+/// field, including the route, on reuse).
 class PacketPool {
  public:
   int alloc() {
@@ -41,9 +44,13 @@ class PacketPool {
     return static_cast<int>(packets_.size()) - 1;
   }
 
-  void release(int id) {
-    packets_[id] = Packet{};
-    free_.push_back(id);
+  void release(int id) { free_.push_back(id); }
+
+  /// Returns every packet to the free list without freeing route storage;
+  /// used by NetworkSim::reset() between runs on the same instance.
+  void recycle_all() {
+    free_.resize(packets_.size());
+    for (std::size_t i = 0; i < free_.size(); ++i) free_[i] = static_cast<int>(i);
   }
 
   Packet& operator[](int id) { return packets_[id]; }

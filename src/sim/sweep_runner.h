@@ -1,0 +1,94 @@
+// Parallel load-sweep execution.
+//
+// A sweep is a set of series — one (topology, routing, traffic) combination
+// each — evaluated over a grid of offered loads. Every (series, load) point
+// is a fully independent simulation, so the runner fans the points out over
+// a thread pool: one freshly constructed SimStack per in-flight point,
+// sharing only the immutable Topology and (precomputed, per-system)
+// MinimalTable.
+//
+// Determinism: each point derives its own seed from the base seed and its
+// global point index via SplitMix64, and results land in a pre-sized table
+// indexed by point position — so runs with jobs=1 and jobs=N produce
+// byte-identical results, and so does re-running any single point alone.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "routing/factory.h"
+#include "sim/experiment.h"
+
+namespace d2net {
+
+/// Per-point seed: one SplitMix64 step over base_seed + (index + 1) * phi.
+/// Distinct indices give decorrelated streams even for adjacent base seeds,
+/// and a point's seed never depends on how many points ran before it.
+std::uint64_t derive_point_seed(std::uint64_t base_seed, std::uint64_t point_index);
+
+/// One series of a sweep. Pointers/references must outlive the run; all
+/// referenced objects must be immutable during it (Topology, MinimalTable,
+/// TrafficPattern and the routing configuration all are).
+struct SweepSeriesSpec {
+  std::string label;
+  const Topology* topo = nullptr;
+  /// Precomputed minimal table; leave null to have the runner build it
+  /// (once per distinct topology, shared between series and points).
+  std::shared_ptr<const MinimalTable> table;
+  RoutingStrategy strategy = RoutingStrategy::kMinimal;
+  std::optional<UgalParams> params;
+  const TrafficPattern* pattern = nullptr;
+  std::vector<double> loads;
+};
+
+struct SweepRunOptions {
+  /// Worker threads; 1 runs inline on the caller (no pool), 0 = hardware
+  /// concurrency.
+  int jobs = 1;
+  /// cfg.seed acts as the sweep's base seed; each point overrides it with
+  /// derive_point_seed(cfg.seed, point_index).
+  SimConfig config;
+  TimePs duration = 0;
+  TimePs warmup = 0;
+};
+
+/// Aggregate execution metrics of the last run (for the benches' JSON
+/// perf trajectory).
+struct SweepRunStats {
+  double wall_seconds = 0.0;
+  std::int64_t events = 0;  ///< simulator events dispatched, all points
+  std::int64_t points = 0;
+  int jobs = 1;
+  double events_per_second() const {
+    return wall_seconds > 0.0 ? static_cast<double>(events) / wall_seconds : 0.0;
+  }
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepRunOptions opts);
+
+  /// Runs all points of all series; out[s][l] corresponds to
+  /// specs[s].loads[l] regardless of execution interleaving.
+  std::vector<std::vector<SweepPoint>> run(const std::vector<SweepSeriesSpec>& specs);
+
+  /// Metrics of the most recent run().
+  const SweepRunStats& stats() const { return stats_; }
+
+  int jobs() const { return jobs_; }
+
+ private:
+  SweepRunOptions opts_;
+  int jobs_ = 1;
+  SweepRunStats stats_;
+};
+
+/// Convenience: runs one series (the run_load_sweep shape) through the
+/// runner. Unlike run_load_sweep — which reuses one SimStack and one seed
+/// for every point — each point gets a fresh stack and a derived seed.
+std::vector<SweepPoint> run_load_sweep_parallel(const SweepSeriesSpec& spec,
+                                                const SweepRunOptions& opts);
+
+}  // namespace d2net
