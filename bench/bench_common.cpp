@@ -17,6 +17,8 @@ SweepRunOptions BenchOptions::sweep_options() const {
   SweepRunOptions out;
   out.jobs = jobs;
   out.config.seed = seed;
+  out.config.metrics.enabled = metrics;
+  if (metrics_sample > 0) out.config.metrics.sample_period = metrics_sample;
   out.duration = duration;
   out.warmup = warmup;
   return out;
@@ -32,7 +34,12 @@ void add_standard_flags(Cli& cli) {
             "concurrent sweep points (0 = all hardware threads); results "
             "are identical for every value")
       .flag("json", std::string{},
-            "write per-sweep timing/result JSON to this path");
+            "write per-sweep timing/result JSON to this path")
+      .flag("metrics", false,
+            "collect per-port/VC metrics and run-phase detail into --json "
+            "(does not change simulation results)")
+      .flag("metrics-sample-us", 1.0,
+            "buffer-occupancy sampling period with --metrics, microseconds");
 }
 
 BenchOptions read_standard_flags(const Cli& cli) {
@@ -45,6 +52,10 @@ BenchOptions read_standard_flags(const Cli& cli) {
   opts.jobs = static_cast<int>(cli.get_int("jobs"));
   D2NET_REQUIRE(opts.jobs >= 0, "--jobs must be >= 0");
   opts.json_path = cli.get_string("json");
+  opts.metrics = cli.get_bool("metrics");
+  const double sample_us = cli.get_double("metrics-sample-us");
+  D2NET_REQUIRE(sample_us > 0.0, "--metrics-sample-us must be > 0");
+  opts.metrics_sample = us(sample_us);
   if (opts.full) {
     // The paper simulates 200 us with a 20 us warm-up; scale up unless the
     // user overrode the defaults.
@@ -92,6 +103,88 @@ std::string json_escape(const std::string& s) {
     }
   }
   return out;
+}
+
+void write_phases(std::ostream& os, const RunPhaseBreakdown& ph) {
+  os << "{\"injected_warmup\": " << ph.injected_warmup
+     << ", \"injected_measured\": " << ph.injected_measured
+     << ", \"delivered_warmup\": " << ph.delivered_warmup
+     << ", \"delivered_measured\": " << ph.delivered_measured
+     << ", \"delivered_carryover\": " << ph.delivered_carryover
+     << ", \"in_flight_at_end\": " << ph.in_flight_at_end << "}";
+}
+
+void write_vc(std::ostream& os, int vc, const VcMetrics& vm) {
+  os << "{\"vc\": " << vc << ", \"packets\": " << vm.packets
+     << ", \"bytes\": " << vm.bytes << ", \"minimal\": " << vm.minimal_packets
+     << ", \"indirect\": " << vm.indirect_packets << "}";
+}
+
+void write_metrics(std::ostream& os, const SimMetrics& m) {
+  os << "{\"sample_period_us\": " << to_us(m.sample_period);
+  os << ", \"counters\": {";
+  bool first = true;
+  m.registry.for_each_counter([&](const std::string& name,
+                                  const MetricsRegistry::Counter& c) {
+    os << (first ? "" : ", ") << "\"" << json_escape(name) << "\": " << c.value;
+    first = false;
+  });
+  os << "}, \"histograms\": {";
+  first = true;
+  m.registry.for_each_histogram([&](const std::string& name, const LogHistogram& h) {
+    os << (first ? "" : ", ") << "\"" << json_escape(name)
+       << "\": {\"count\": " << h.count() << ", \"mean\": " << h.mean()
+       << ", \"p50\": " << h.percentile(50) << ", \"p99\": " << h.percentile(99)
+       << ", \"underflow\": " << h.underflow() << ", \"overflow\": " << h.overflow()
+       << "}";
+    first = false;
+  });
+  os << "}";
+  // VC traffic aggregated over all ports.
+  std::vector<VcMetrics> totals;
+  for (const PortMetrics& pm : m.ports) {
+    if (totals.size() < pm.vcs.size()) totals.resize(pm.vcs.size());
+    for (std::size_t v = 0; v < pm.vcs.size(); ++v) {
+      totals[v].packets += pm.vcs[v].packets;
+      totals[v].bytes += pm.vcs[v].bytes;
+      totals[v].minimal_packets += pm.vcs[v].minimal_packets;
+      totals[v].indirect_packets += pm.vcs[v].indirect_packets;
+    }
+  }
+  os << ", \"vc_totals\": [";
+  for (std::size_t v = 0; v < totals.size(); ++v) {
+    os << (v ? ", " : "");
+    write_vc(os, static_cast<int>(v), totals[v]);
+  }
+  os << "], \"occupancy\": [";
+  for (std::size_t i = 0; i < m.occupancy.size(); ++i) {
+    os << (i ? ", " : "") << "{\"t_us\": " << to_us(m.occupancy[i].time)
+       << ", \"bytes\": " << m.occupancy[i].buffered_bytes << "}";
+  }
+  os << "], \"ports\": [";
+  bool first_port = true;
+  for (const PortMetrics& pm : m.ports) {
+    if (pm.packets_forwarded == 0 && pm.credit_stall_ps == 0) continue;
+    os << (first_port ? "" : ", ");
+    first_port = false;
+    os << "{\"router\": " << pm.router << ", \"port\": " << pm.port
+       << ", \"peer_router\": " << pm.peer_router
+       << ", \"peer_node\": " << pm.peer_node
+       << ", \"packets\": " << pm.packets_forwarded
+       << ", \"bytes\": " << pm.bytes_forwarded
+       << ", \"credit_stall_ns\": " << to_ns(pm.credit_stall_ps)
+       << ", \"occ_mean_bytes\": " << pm.occupancy_bytes.mean()
+       << ", \"occ_max_bytes\": " << pm.occupancy_bytes.max() << ", \"vcs\": [";
+    bool first_vc = true;
+    for (std::size_t v = 0; v < pm.vcs.size(); ++v) {
+      if (pm.vcs[v].packets == 0) continue;
+      os << (first_vc ? "" : ", ");
+      first_vc = false;
+      write_vc(os, static_cast<int>(v), pm.vcs[v]);
+    }
+    os << "]}";
+  }
+  os << "]}";
 }
 
 }  // namespace
@@ -147,7 +240,14 @@ void BenchReport::write() const {
            << ", \"throughput\": " << pt.result.accepted_throughput
            << ", \"avg_latency_ns\": " << pt.result.avg_latency_ns
            << ", \"p99_latency_ns\": " << pt.result.p99_latency_ns
-           << ", \"packets_measured\": " << pt.result.packets_measured << "}";
+           << ", \"packets_measured\": " << pt.result.packets_measured
+           << ", \"phases\": ";
+        write_phases(os, pt.result.phases);
+        if (pt.result.metrics != nullptr) {
+          os << ", \"metrics\": ";
+          write_metrics(os, *pt.result.metrics);
+        }
+        os << "}";
       }
       os << "]}";
     }

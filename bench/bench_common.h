@@ -26,6 +26,8 @@ struct BenchOptions {
   bool csv = false;          ///< additionally dump CSV after each table
   int jobs = 0;              ///< sweep-point parallelism; 0 = all cores
   std::string json_path;     ///< write timing/result JSON here ("" = off)
+  bool metrics = false;      ///< collect per-port/VC detail (see docs/observability.md)
+  TimePs metrics_sample = 0; ///< occupancy sampling period with --metrics
 
   /// SweepRunner options carrying these settings (seed becomes the base
   /// seed for per-point derivation).
@@ -62,7 +64,22 @@ Topology paper_oft(bool full);
 ///                "events_per_second": ..., "points": N,
 ///                "series": [{"label": ..., "points": [{"load": ...,
 ///                  "throughput": ..., "avg_latency_ns": ...,
-///                  "p99_latency_ns": ..., "packets_measured": ...}]}]}]}
+///                  "p99_latency_ns": ..., "packets_measured": ...,
+///                  "phases": {"injected_warmup": ..., "injected_measured": ...,
+///                    "delivered_warmup": ..., "delivered_measured": ...,
+///                    "delivered_carryover": ..., "in_flight_at_end": ...}}]}]}]}
+///
+/// With --metrics each point additionally carries a "metrics" object:
+/// {"sample_period_us": ..., "counters": {name: value, ...},
+///  "histograms": {name: {"count", "mean", "p50", "p99", "underflow",
+///                        "overflow"}, ...},
+///  "vc_totals": [{"vc", "packets", "bytes", "minimal", "indirect"}, ...],
+///  "occupancy": [{"t_us", "bytes"}, ...],
+///  "ports": [{"router", "port", "peer_router", "peer_node", "packets",
+///             "bytes", "credit_stall_ns", "occ_mean_bytes", "occ_max_bytes",
+///             "vcs": [{"vc", "packets", "bytes", "minimal", "indirect"}]}]}
+/// (only ports that forwarded traffic or stalled on credit are listed; see
+/// docs/observability.md for semantics).
 class BenchReport {
  public:
   BenchReport(std::string bench_name, const BenchOptions& opts);

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 CI: a clean release build with the full ctest suite, then a
-# ThreadSanitizer build that runs the parallel-sweep determinism test to
-# prove the sweep runner is race-free (not just accidentally ordered).
+# Tier-1 CI: a clean release build (warnings are errors) with the full
+# ctest suite, then a ThreadSanitizer build that runs the parallel-sweep
+# determinism test to prove the sweep runner is race-free (not just
+# accidentally ordered).
 #
 #   scripts/ci.sh            # both stages, build trees under build-ci*/
 #   SKIP_TSAN=1 scripts/ci.sh
@@ -10,8 +11,8 @@ cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
 
-echo "=== stage 1: build + full test suite ==="
-cmake -B build-ci -S . >/dev/null
+echo "=== stage 1: build (-Wall -Wextra -Werror) + full test suite ==="
+cmake -B build-ci -S . -DD2NET_WERROR=ON >/dev/null
 cmake --build build-ci -j "$JOBS"
 ctest --test-dir build-ci --output-on-failure -j "$JOBS"
 

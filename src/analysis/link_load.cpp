@@ -1,6 +1,7 @@
 #include "analysis/link_load.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 
 #include "common/error.h"
@@ -124,6 +125,52 @@ LinkLoadReport minimal_link_loads_uniform(const Topology& topo, const MinimalTab
     }
   }
   return finalize(std::move(loads));
+}
+
+LinkLoadComparison compare_link_loads(const LinkLoadReport& analytic,
+                                      const std::vector<double>& observed_utilization,
+                                      double offered_load) {
+  D2NET_REQUIRE(analytic.loads.size() == observed_utilization.size(),
+                "analytic and observed channel counts differ");
+  D2NET_REQUIRE(offered_load > 0.0, "offered load must be positive");
+  LinkLoadComparison cmp;
+  cmp.channels = static_cast<int>(analytic.loads.size());
+  cmp.offered_load = offered_load;
+  if (cmp.channels == 0) return cmp;
+
+  // Expected utilization: analytic loads are per unit offered injection
+  // bandwidth; a channel cannot exceed its line rate.
+  std::vector<double> expected(analytic.loads.size());
+  for (std::size_t c = 0; c < analytic.loads.size(); ++c) {
+    expected[c] = std::min(1.0, analytic.loads[c] * offered_load);
+  }
+
+  double sum_e = 0.0, sum_o = 0.0;
+  for (std::size_t c = 0; c < expected.size(); ++c) {
+    cmp.expected_util_max = std::max(cmp.expected_util_max, expected[c]);
+    cmp.observed_util_max = std::max(cmp.observed_util_max, observed_utilization[c]);
+    const double err = std::abs(observed_utilization[c] - expected[c]);
+    cmp.mean_abs_error += err;
+    cmp.max_abs_error = std::max(cmp.max_abs_error, err);
+    sum_e += expected[c];
+    sum_o += observed_utilization[c];
+  }
+  const double n = static_cast<double>(expected.size());
+  cmp.mean_abs_error /= n;
+
+  const double mean_e = sum_e / n;
+  const double mean_o = sum_o / n;
+  double cov = 0.0, var_e = 0.0, var_o = 0.0;
+  for (std::size_t c = 0; c < expected.size(); ++c) {
+    const double de = expected[c] - mean_e;
+    const double dob = observed_utilization[c] - mean_o;
+    cov += de * dob;
+    var_e += de * de;
+    var_o += dob * dob;
+  }
+  cmp.correlation =
+      var_e > 0.0 && var_o > 0.0 ? cov / std::sqrt(var_e * var_o) : 0.0;
+  return cmp;
 }
 
 LinkLoadReport valiant_link_loads(const Topology& topo, const MinimalTable& table,

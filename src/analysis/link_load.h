@@ -58,4 +58,27 @@ LinkLoadReport valiant_link_loads(const Topology& topo, const MinimalTable& tabl
                                   const std::vector<int>& dest_of,
                                   const std::vector<int>& intermediates);
 
+/// Per-channel agreement between the analytic expectation and a measured
+/// run. Expected utilization of channel c at offered load f is
+/// min(1, f * loads[c]); `observed` is the simulator's measured fraction
+/// of line rate per channel, in the same (router, port) order the report
+/// uses — exactly what NetworkSim::channel_stats() yields.
+struct LinkLoadComparison {
+  int channels = 0;
+  double offered_load = 0.0;
+  double expected_util_max = 0.0;
+  double observed_util_max = 0.0;
+  double mean_abs_error = 0.0;  ///< mean |observed - expected| over channels
+  double max_abs_error = 0.0;
+  /// Pearson correlation between expected and observed utilization
+  /// (0 when either side has no variance).
+  double correlation = 0.0;
+};
+
+/// Compares an analytic link-load report against observed per-channel
+/// utilizations from a simulation at `offered_load`.
+LinkLoadComparison compare_link_loads(const LinkLoadReport& analytic,
+                                      const std::vector<double>& observed_utilization,
+                                      double offered_load);
+
 }  // namespace d2net

@@ -1,5 +1,6 @@
 #include "common/cli.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 
@@ -28,6 +29,35 @@ ParsedArg split_arg(const std::string& arg) {
     out.has_value = true;
   }
   return out;
+}
+
+// Strict numeric parsing: the *entire* token must parse, so "--load=0.9o"
+// or "--duration=10us" fail loudly instead of silently truncating (or, for
+// strtod with a bad prefix, silently becoming 0).
+
+std::int64_t parse_int_value(const std::string& name, const std::string& s) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  D2NET_REQUIRE(!s.empty() && end == s.c_str() + s.size() && errno != ERANGE,
+                "flag --" + name + " expects an integer, got '" + s + "'");
+  return static_cast<std::int64_t>(v);
+}
+
+double parse_double_value(const std::string& name, const std::string& s) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  D2NET_REQUIRE(!s.empty() && end == s.c_str() + s.size() && errno != ERANGE,
+                "flag --" + name + " expects a number, got '" + s + "'");
+  return v;
+}
+
+bool parse_bool_value(const std::string& name, const std::string& s) {
+  if (s == "true" || s == "1") return true;
+  if (s == "false" || s == "0") return false;
+  D2NET_REQUIRE(false, "flag --" + name + " expects true/false/1/0, got '" + s + "'");
+  return false;  // unreachable
 }
 
 }  // namespace
@@ -73,11 +103,11 @@ bool Cli::parse(int argc, char** argv) {
       pa.has_value = true;
     }
     if (std::holds_alternative<std::int64_t>(entry.value)) {
-      entry.value = static_cast<std::int64_t>(std::strtoll(pa.value.c_str(), nullptr, 10));
+      entry.value = parse_int_value(pa.name, pa.value);
     } else if (std::holds_alternative<double>(entry.value)) {
-      entry.value = std::strtod(pa.value.c_str(), nullptr);
+      entry.value = parse_double_value(pa.name, pa.value);
     } else if (std::holds_alternative<bool>(entry.value)) {
-      entry.value = !pa.has_value || pa.value == "true" || pa.value == "1";
+      entry.value = !pa.has_value || parse_bool_value(pa.name, pa.value);
     } else {
       entry.value = pa.value;
     }

@@ -2,7 +2,10 @@
 //
 // Flags are declared with defaults, parsed from `--name=value` or
 // `--name value` arguments; `--help` prints the registry. No external
-// dependencies, deterministic errors on unknown flags.
+// dependencies, deterministic errors on unknown flags and malformed
+// values: numeric flags require the whole token to parse (no trailing
+// junk), bool flags accept only true/false/1/0 (or no value, meaning
+// true).
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,29 @@
+#include "common/metrics.h"
+
+namespace d2net {
+
+MetricsRegistry::Counter& MetricsRegistry::counter(const std::string& name) {
+  return get_or_create(counters_, counter_index_, name);
+}
+
+RunningStats& MetricsRegistry::stats(const std::string& name) {
+  return get_or_create(stats_, stats_index_, name);
+}
+
+LogHistogram& MetricsRegistry::histogram(const std::string& name) {
+  return get_or_create(histograms_, histogram_index_, name);
+}
+
+const MetricsRegistry::Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  return find_in(counters_, counter_index_, name);
+}
+
+const RunningStats* MetricsRegistry::find_stats(const std::string& name) const {
+  return find_in(stats_, stats_index_, name);
+}
+
+const LogHistogram* MetricsRegistry::find_histogram(const std::string& name) const {
+  return find_in(histograms_, histogram_index_, name);
+}
+
+}  // namespace d2net

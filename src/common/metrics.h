@@ -1,0 +1,96 @@
+// Lightweight named-metric registry: the simulator's observability
+// substrate. A registry owns three kinds of sinks — monotonic Counters,
+// RunningStats gauges and LogHistograms — addressed by name. Handles
+// returned by the accessors stay valid for the registry's lifetime (and
+// across further registrations), so hot paths resolve a name once and then
+// update through the pointer at the cost of one increment.
+//
+// The registry itself is not thread-safe; each simulator instance owns its
+// own (the parallel sweep runner builds one stack — and thus one registry —
+// per in-flight point).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+#include "common/stats.h"
+
+namespace d2net {
+
+class MetricsRegistry {
+ public:
+  /// Monotonic (or at least additive) named counter.
+  struct Counter {
+    std::int64_t value = 0;
+    void add(std::int64_t delta = 1) { value += delta; }
+  };
+
+  /// Returns the sink registered under `name`, creating it on first use.
+  /// The returned reference is stable: it survives later registrations.
+  Counter& counter(const std::string& name);
+  RunningStats& stats(const std::string& name);
+  LogHistogram& histogram(const std::string& name);
+
+  /// Lookup without creating; nullptr when no sink of that kind and name
+  /// has been registered.
+  const Counter* find_counter(const std::string& name) const;
+  const RunningStats* find_stats(const std::string& name) const;
+  const LogHistogram* find_histogram(const std::string& name) const;
+
+  std::size_t num_counters() const { return counters_.size(); }
+  std::size_t num_stats() const { return stats_.size(); }
+  std::size_t num_histograms() const { return histograms_.size(); }
+
+  /// Visits every sink of one kind in registration order (deterministic —
+  /// serialization of a run's metrics must not depend on map iteration).
+  template <typename Fn>
+  void for_each_counter(Fn&& fn) const {
+    for (const auto& e : counters_) fn(e.name, e.sink);
+  }
+  template <typename Fn>
+  void for_each_stats(Fn&& fn) const {
+    for (const auto& e : stats_) fn(e.name, e.sink);
+  }
+  template <typename Fn>
+  void for_each_histogram(Fn&& fn) const {
+    for (const auto& e : histograms_) fn(e.name, e.sink);
+  }
+
+ private:
+  template <typename T>
+  struct Entry {
+    std::string name;
+    T sink;
+  };
+
+  // Deque storage keeps handles stable under growth; the map indexes into
+  // it by registration position.
+  template <typename T>
+  T& get_or_create(std::deque<Entry<T>>& entries, std::map<std::string, std::size_t>& index,
+                   const std::string& name) {
+    auto it = index.find(name);
+    if (it != index.end()) return entries[it->second].sink;
+    index.emplace(name, entries.size());
+    entries.push_back({name, T{}});
+    return entries.back().sink;
+  }
+
+  template <typename T>
+  static const T* find_in(const std::deque<Entry<T>>& entries,
+                          const std::map<std::string, std::size_t>& index,
+                          const std::string& name) {
+    auto it = index.find(name);
+    return it == index.end() ? nullptr : &entries[it->second].sink;
+  }
+
+  std::deque<Entry<Counter>> counters_;
+  std::deque<Entry<RunningStats>> stats_;
+  std::deque<Entry<LogHistogram>> histograms_;
+  std::map<std::string, std::size_t> counter_index_;
+  std::map<std::string, std::size_t> stats_index_;
+  std::map<std::string, std::size_t> histogram_index_;
+};
+
+}  // namespace d2net

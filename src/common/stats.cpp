@@ -51,7 +51,11 @@ void LogHistogram::add(std::int64_t value) {
   }
   // Bucket 0: value 0; bucket b >= 1: [2^(b-1), 2^b).
   const int b = value == 0 ? 0 : 64 - std::countl_zero(static_cast<std::uint64_t>(value));
-  buckets_[std::min(b, kBuckets - 1)]++;
+  if (b >= kBuckets) {
+    ++overflow_;
+    return;
+  }
+  buckets_[b]++;
   ++total_;
   sum_ += static_cast<double>(value);
 }
@@ -68,8 +72,8 @@ double LogHistogram::percentile(double p) const {
     if (static_cast<double>(cum) >= target) {
       const double lo = b == 0 ? 0.0 : std::ldexp(1.0, b - 1);
       const double hi = b == 0 ? 1.0 : std::ldexp(1.0, b);
-      const double frac =
-          buckets_[b] > 0 ? (target - prev) / static_cast<double>(buckets_[b]) : 0.0;
+      // buckets_[b] > 0 here (empty buckets were skipped above).
+      const double frac = (target - prev) / static_cast<double>(buckets_[b]);
       return lo + frac * (hi - lo);
     }
   }

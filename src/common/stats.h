@@ -33,24 +33,30 @@ class RunningStats {
 ///
 /// Buckets are [0,1), [1,2), [2,4), ... doubling, up to 2^62; this gives
 /// exact counts with ~3 % relative resolution via sub-bucket interpolation,
-/// at a constant 63-slot footprint regardless of sample count.
+/// at a constant 63-slot footprint regardless of sample count. Values
+/// outside the bucketed range are never folded into the edge buckets —
+/// they land in the underflow/overflow counts, so percentile() can never
+/// interpolate a saturated tail back into range.
 class LogHistogram {
  public:
   void add(std::int64_t value);
   std::int64_t count() const { return total_; }
 
   /// Approximate p-th percentile (p in [0,100]) by linear interpolation
-  /// within the containing bucket. Returns 0 for an empty histogram.
+  /// within the containing bucket, over the in-range samples only. Returns
+  /// 0 for an empty histogram.
   double percentile(double p) const;
 
   double mean() const { return total_ > 0 ? sum_ / static_cast<double>(total_) : 0.0; }
   std::int64_t underflow() const { return underflow_; }
+  std::int64_t overflow() const { return overflow_; }
 
  private:
   static constexpr int kBuckets = 63;
   std::int64_t buckets_[kBuckets] = {};
   std::int64_t total_ = 0;
-  std::int64_t underflow_ = 0;  ///< Count of negative inputs (clamped out).
+  std::int64_t underflow_ = 0;  ///< Count of negative inputs (out of range).
+  std::int64_t overflow_ = 0;   ///< Count of inputs >= 2^62 (out of range).
   double sum_ = 0.0;
 };
 

@@ -10,6 +10,17 @@
 
 namespace d2net {
 
+/// Opt-in detailed instrumentation (see sim/metrics.h). Disabled costs
+/// nothing beyond a predictable branch per event handler; enabled runs
+/// produce bit-identical core results (same event sequence, same RNG
+/// stream) plus the SimMetrics block.
+struct MetricsConfig {
+  bool enabled = false;
+  /// Buffer-occupancy sampling period (simulated time); must be > 0 when
+  /// enabled.
+  TimePs sample_period = us(1);
+};
+
 struct SimConfig {
   /// Serialization cost; 80 ps/B == 100 Gb/s.
   std::int64_t ps_per_byte = ps_per_byte_at_gbps(100.0);
@@ -28,6 +39,8 @@ struct SimConfig {
   /// still hold whole packets (VCT, not wormhole). Default keeps
   /// store-and-forward for strict conservatism.
   bool cut_through = false;
+
+  MetricsConfig metrics;
 
   /// Time for one packet to cross one link at line rate.
   TimePs packet_serialization() const {

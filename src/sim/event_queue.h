@@ -27,6 +27,10 @@ enum class EventType : std::uint8_t {
   kCreditToRouter,  ///< a = router, b = out_port, c = vc, d = bytes
   kCreditToNic,     ///< a = node, c = vc, d = bytes
   kArriveNode,      ///< a = packet, b = node
+  /// Read-only buffer-occupancy sampling tick (metrics enabled only).
+  /// Mutates nothing but the metric sinks and is excluded from
+  /// events_processed, so enabling metrics cannot perturb a run.
+  kMetricsSample,
 };
 
 struct Event {

@@ -100,6 +100,16 @@ NetworkSim::NetworkSim(const Topology& topo, const SimConfig& cfg, int num_vcs)
   }
   for (NicState& nic : nics_) nic.credits.resize(num_vcs_);
   queue_.reserve(static_cast<std::size_t>(topo.num_nodes()) * 8);
+
+  metrics_enabled_ = cfg_.metrics.enabled;
+  if (metrics_enabled_) {
+    D2NET_REQUIRE(cfg_.metrics.sample_period > 0,
+                  "metrics sample period must be positive");
+    port_instr_.resize(routers_.size());
+    for (std::size_t r = 0; r < routers_.size(); ++r) {
+      port_instr_[r].resize(routers_[r].out_ports.size());
+    }
+  }
   reset();
 }
 
@@ -136,9 +146,33 @@ void NetworkSim::reset() {
   packets_minimal_ = 0;
   latency_ns_ = LogHistogram{};
   hops_ = RunningStats{};
+  phases_ = RunPhaseBreakdown{};
   exchange_mode_ = false;
   exchange_remaining_ = 0;
   exchange_completion_ = -1;
+
+  if (metrics_enabled_) {
+    for (int r = 0; r < topo_.num_routers(); ++r) {
+      const RouterState& rs = routers_[r];
+      for (std::size_t o = 0; o < rs.out_ports.size(); ++o) {
+        PortInstr& pi = port_instr_[r][o];
+        pi.stall_since = -1;
+        pi.m = PortMetrics{};
+        pi.m.router = r;
+        pi.m.port = static_cast<int>(o);
+        pi.m.peer_router = rs.out_ports[o].to_node ? -1 : rs.out_ports[o].peer_router;
+        pi.m.peer_node = rs.out_ports[o].to_node ? rs.out_ports[o].peer_node : -1;
+        pi.m.vcs.resize(num_vcs_);
+      }
+    }
+    occupancy_series_.clear();
+    registry_ = std::make_unique<MetricsRegistry>();
+    ctr_grants_ = &registry_->counter("grants");
+    ctr_credit_skips_ = &registry_->counter("credit_blocked_skips");
+    ctr_injection_stalls_ = &registry_->counter("injection_credit_stalls");
+    ctr_samples_ = &registry_->counter("occupancy_samples");
+    hist_carryover_ns_ = &registry_->histogram("carryover_latency_ns");
+  }
 }
 
 int NetworkSim::out_port_toward(int router, int neighbor) const {
@@ -205,6 +239,7 @@ bool NetworkSim::start_injection(int node, int dst, int size, TimePs gen_time,
   const int vc0 = route.vcs.empty() ? 0 : route.vcs.front();
   if (nic.credits[vc0] < size) {
     pool_.release(pkt_id);
+    if (metrics_enabled_) ctr_injection_stalls_->add();
     return false;  // stall; retried on credit return
   }
 
@@ -228,6 +263,7 @@ bool NetworkSim::start_injection(int node, int dst, int size, TimePs gen_time,
               src_router, nic.in_port, vc0);
   ++packets_injected_;
   if (pkt.route.minimal()) ++packets_minimal_;
+  ++(gen_time < window_start_ ? phases_.injected_warmup : phases_.injected_measured);
   return true;
 }
 
@@ -303,6 +339,7 @@ void NetworkSim::try_grant(int router, int out_idx, TimePs now) {
   OutPort& out = rs.out_ports[out_idx];
   if (out.free_at > now) return;  // kChannelFree retries
 
+  bool credit_blocked = false;
   for (std::size_t i = 0; i < out.ready.size(); ++i) {
     const ReadyEntry entry = out.ready[i];
     InVc& q = rs.in_ports[entry.in_port].vcs[entry.vc];
@@ -313,7 +350,11 @@ void NetworkSim::try_grant(int router, int out_idx, TimePs now) {
     int vc_next = 0;
     if (!out.to_node) {
       vc_next = pkt.vc_at_hop();
-      if (out.credits[vc_next] < pkt.size) continue;  // blocked on credit
+      if (out.credits[vc_next] < pkt.size) {  // blocked on credit
+        credit_blocked = true;
+        if (metrics_enabled_) ctr_credit_skips_->add();
+        continue;
+      }
     }
 
     // Grant: rotate the ready list so entries skipped or granted move back.
@@ -328,6 +369,23 @@ void NetworkSim::try_grant(int router, int out_idx, TimePs now) {
     out.free_at = now + ser;
     if (now >= window_start_ && now <= window_end_) out.bytes_sent_window += pkt.size;
     queue_.push(out.free_at, EventType::kChannelFree, router, out_idx);
+
+    if (metrics_enabled_) {
+      PortInstr& pi = port_instr_[router][out_idx];
+      if (pi.stall_since >= 0) {
+        pi.m.credit_stall_ps += now - pi.stall_since;
+        pi.stall_since = -1;
+      }
+      ctr_grants_->add();
+      if (now >= window_start_ && now <= window_end_) {
+        ++pi.m.packets_forwarded;
+        pi.m.bytes_forwarded += pkt.size;
+        VcMetrics& vm = pi.m.vcs[entry.vc];
+        ++vm.packets;
+        vm.bytes += pkt.size;
+        ++(pkt.route.minimal() ? vm.minimal_packets : vm.indirect_packets);
+      }
+    }
 
     // Return the freed input-buffer credit upstream.
     const InPort& ip = rs.in_ports[entry.in_port];
@@ -359,15 +417,35 @@ void NetworkSim::try_grant(int router, int out_idx, TimePs now) {
     }
     return;
   }
+  // Nothing granted: if the idle channel has eligible heads blocked purely
+  // on downstream credit, open (or keep open) this port's stall interval.
+  if (metrics_enabled_ && credit_blocked) {
+    PortInstr& pi = port_instr_[router][out_idx];
+    if (pi.stall_since < 0) pi.stall_since = now;
+  }
 }
 
 void NetworkSim::handle_arrive_node(int pkt_id, TimePs now) {
   const Packet& pkt = pool_[pkt_id];
-  if (now >= window_start_ && now <= window_end_) {
+  if (now < window_start_) {
+    ++phases_.delivered_warmup;
+  } else if (now <= window_end_) {
+    // Throughput counts every in-window ejection (steady-state byte flow);
+    // the latency/hop distributions count only packets *generated* inside
+    // the window — a packet born during warmup carries exactly the
+    // queueing transient the warmup exists to discard.
     ejected_bytes_window_ += pkt.size;
     ejected_per_node_[pkt.dst_node] += pkt.size;
-    latency_ns_.add(static_cast<std::int64_t>(to_ns(now - pkt.gen_time)));
-    hops_.add(static_cast<double>(pkt.route.hops()));
+    if (pkt.gen_time >= window_start_) {
+      ++phases_.delivered_measured;
+      latency_ns_.add(static_cast<std::int64_t>(to_ns(now - pkt.gen_time)));
+      hops_.add(static_cast<double>(pkt.route.hops()));
+    } else {
+      ++phases_.delivered_carryover;
+      if (metrics_enabled_) {
+        hist_carryover_ns_->add(static_cast<std::int64_t>(to_ns(now - pkt.gen_time)));
+      }
+    }
     if (trace_ != nullptr) {
       trace_->record({pkt.src_node, pkt.dst_node, pkt.size, pkt.gen_time, pkt.inject_time,
                       now, pkt.route.hops(), pkt.route.minimal()});
@@ -417,7 +495,28 @@ void NetworkSim::dispatch(const Event& e) {
     case EventType::kArriveNode:
       handle_arrive_node(e.a, e.time);
       break;
+    case EventType::kMetricsSample:
+      // Handled in run_until (excluded from events_processed).
+      break;
   }
+}
+
+void NetworkSim::handle_metrics_sample(TimePs now) {
+  // Read-only over simulation state: records queue depths and schedules
+  // the next tick. Must not touch the RNG or any router/NIC state.
+  std::int64_t total = 0;
+  for (int r = 0; r < topo_.num_routers(); ++r) {
+    const RouterState& rs = routers_[r];
+    for (std::size_t o = 0; o < rs.out_ports.size(); ++o) {
+      const std::int64_t q = rs.out_ports[o].queued_bytes;
+      port_instr_[r][o].m.occupancy_bytes.add(static_cast<double>(q));
+      total += q;
+    }
+  }
+  occupancy_series_.push_back({now, total});
+  ctr_samples_->add();
+  const TimePs next = now + cfg_.metrics.sample_period;
+  if (next <= window_end_) queue_.push(next, EventType::kMetricsSample);
 }
 
 void NetworkSim::run_until(TimePs end) {
@@ -426,9 +525,44 @@ void NetworkSim::run_until(TimePs end) {
     if (exchange_mode_ && exchange_remaining_ == 0) break;
     const Event e = queue_.pop();
     now_ = e.time;
+    if (e.type == EventType::kMetricsSample) {
+      // Sampling ticks observe without perturbing: they bypass dispatch()
+      // and the events_processed count so enabled and disabled runs report
+      // identical engine statistics.
+      handle_metrics_sample(e.time);
+      continue;
+    }
     dispatch(e);
     ++events_processed_;
   }
+}
+
+std::shared_ptr<const SimMetrics> NetworkSim::build_metrics() {
+  if (!metrics_enabled_) return nullptr;
+  auto out = std::make_shared<SimMetrics>();
+  out->sample_period = cfg_.metrics.sample_period;
+  out->phases = phases_;
+  out->occupancy = std::move(occupancy_series_);
+  occupancy_series_.clear();
+  std::size_t num_ports = 0;
+  for (const auto& per_router : port_instr_) num_ports += per_router.size();
+  out->ports.reserve(num_ports);
+  for (auto& per_router : port_instr_) {
+    for (PortInstr& pi : per_router) {
+      if (pi.stall_since >= 0) {  // close stall intervals open at run end
+        pi.m.credit_stall_ps += now_ - pi.stall_since;
+        pi.stall_since = -1;
+      }
+      out->ports.push_back(pi.m);
+    }
+  }
+  out->registry = std::move(*registry_);
+  // The cached handles point into the moved-from registry; reset()
+  // recreates both before the next run.
+  registry_.reset();
+  ctr_grants_ = ctr_credit_skips_ = ctr_injection_stalls_ = ctr_samples_ = nullptr;
+  hist_carryover_ns_ = nullptr;
+  return out;
 }
 
 OpenLoopResult NetworkSim::run_open_loop(const TrafficPattern& pattern, double load,
@@ -449,7 +583,11 @@ OpenLoopResult NetworkSim::run_open_loop(const TrafficPattern& pattern, double l
   for (int node = 0; node < topo_.num_nodes(); ++node) {
     queue_.push(static_cast<TimePs>(rng_.uniform() * mean), EventType::kGenerate, node);
   }
+  if (metrics_enabled_) {
+    queue_.push(cfg_.metrics.sample_period, EventType::kMetricsSample);
+  }
   run_until(duration);
+  phases_.in_flight_at_end = static_cast<std::int64_t>(pool_.in_use());
 
   OpenLoopResult res;
   res.offered_load = load;
@@ -478,6 +616,8 @@ OpenLoopResult NetworkSim::run_open_loop(const TrafficPattern& pattern, double l
   res.jain_fairness =
       sum_sq > 0.0 ? sum * sum / (static_cast<double>(ejected_per_node_.size()) * sum_sq)
                    : 0.0;
+  res.phases = phases_;
+  res.metrics = build_metrics();
   return res;
 }
 
@@ -499,7 +639,11 @@ ExchangeResult NetworkSim::run_exchange(const ExchangePlan& plan, TimePs time_li
     nics_[node].messages = plan.per_node[node];
     queue_.push(0, EventType::kNicFree, node);
   }
+  if (metrics_enabled_) {
+    queue_.push(cfg_.metrics.sample_period, EventType::kMetricsSample);
+  }
   run_until(time_limit);
+  phases_.in_flight_at_end = static_cast<std::int64_t>(pool_.in_use());
 
   ExchangeResult res;
   res.total_bytes = plan.total_bytes();
@@ -513,6 +657,7 @@ ExchangeResult NetworkSim::run_exchange(const ExchangePlan& plan, TimePs time_li
     res.effective_throughput = per_node_bytes / line_bytes;
   }
   res.avg_latency_ns = latency_ns_.mean();
+  res.metrics = build_metrics();
   return res;
 }
 

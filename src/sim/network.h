@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,7 @@
 #include "routing/routing_algorithm.h"
 #include "sim/config.h"
 #include "sim/event_queue.h"
+#include "sim/metrics.h"
 #include "sim/packet.h"
 #include "sim/trace.h"
 
@@ -58,6 +60,10 @@ struct OpenLoopResult {
   /// Jain fairness index over per-node ejected bytes in the window
   /// (1.0 = perfectly even service; 1/N = one node starves all others).
   double jain_fairness = 0.0;
+  /// Warmup / measurement / drain packet accounting; always populated.
+  RunPhaseBreakdown phases;
+  /// Per-port/VC detail; non-null only with SimConfig::metrics.enabled.
+  std::shared_ptr<const SimMetrics> metrics;
 };
 
 /// One message of an exchange workload.
@@ -90,6 +96,8 @@ struct ExchangeResult {
   /// the line rate — the paper's "effective throughput" (Figs. 13, 14).
   double effective_throughput = 0.0;
   double avg_latency_ns = 0.0;  ///< mean in-network packet latency
+  /// Per-port/VC detail; non-null only with SimConfig::metrics.enabled.
+  std::shared_ptr<const SimMetrics> metrics;
 };
 
 /// Simulator instance bound to one topology. Create, then attach a routing
@@ -109,8 +117,11 @@ class NetworkSim final : public PortLoadProvider {
   void set_trace(PacketTraceSink* sink) { trace_ = sink; }
 
   /// Synthetic open-loop run: Poisson generation at `load` (fraction of
-  /// line rate) per node, simulated for `duration`; statistics are
-  /// collected in [warmup, duration].
+  /// line rate) per node, simulated for `duration`. Throughput counts all
+  /// bytes ejected in [warmup, duration]; the latency/hop distributions
+  /// count only packets *generated* at or after `warmup` (warmup-born
+  /// queueing transients are excluded and reported in the run-phase
+  /// breakdown instead).
   OpenLoopResult run_open_loop(const TrafficPattern& pattern, double load, TimePs duration,
                                TimePs warmup);
 
@@ -201,8 +212,12 @@ class NetworkSim final : public PortLoadProvider {
   void handle_head_eligible(int router, int in_port, int vc, int out_idx, TimePs now);
   void try_grant(int router, int out_idx, TimePs now);
   void handle_arrive_node(int pkt_id, TimePs now);
+  void handle_metrics_sample(TimePs now);
   void dispatch(const Event& e);
   void run_until(TimePs end);
+
+  /// Finalizes the per-run SimMetrics block (nullptr when disabled).
+  std::shared_ptr<const SimMetrics> build_metrics();
 
   /// Builds the packet's route at injection; returns false when the NIC
   /// must stall (insufficient injection credit).
@@ -246,6 +261,24 @@ class NetworkSim final : public PortLoadProvider {
   std::int64_t packets_minimal_ = 0;
   LogHistogram latency_ns_;
   RunningStats hops_;
+  RunPhaseBreakdown phases_;  ///< always collected (integer increments only)
+
+  // detailed instrumentation (allocated/active only when
+  // cfg_.metrics.enabled; see sim/metrics.h for the exported shape)
+  struct PortInstr {
+    PortMetrics m;
+    TimePs stall_since = -1;  ///< open credit-stall interval start, -1 = none
+  };
+  bool metrics_enabled_ = false;
+  std::vector<std::vector<PortInstr>> port_instr_;  ///< [router][out port]
+  std::vector<OccupancySample> occupancy_series_;
+  std::unique_ptr<MetricsRegistry> registry_;  ///< rebuilt per run
+  // Handles resolved once per run so hot paths never do name lookups.
+  MetricsRegistry::Counter* ctr_grants_ = nullptr;
+  MetricsRegistry::Counter* ctr_credit_skips_ = nullptr;
+  MetricsRegistry::Counter* ctr_injection_stalls_ = nullptr;
+  MetricsRegistry::Counter* ctr_samples_ = nullptr;
+  LogHistogram* hist_carryover_ns_ = nullptr;
 };
 
 }  // namespace d2net

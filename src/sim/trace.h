@@ -1,8 +1,11 @@
 // Optional per-packet tracing: when a sink is attached to a NetworkSim,
-// every delivered packet is recorded (source, destination, generation /
-// injection / delivery times, hop count, minimal-vs-indirect). Useful for
-// debugging routing decisions and for latency-breakdown analysis outside
-// the built-in histograms.
+// every packet delivered inside the measurement window is recorded
+// (source, destination, generation / injection / delivery times, hop
+// count, minimal-vs-indirect). Unlike the built-in latency statistics the
+// trace does NOT filter on generation time — warmup-born carryover
+// deliveries appear too, each carrying its gen_time so consumers can
+// apply their own window. Useful for debugging routing decisions and for
+// latency-breakdown analysis outside the built-in histograms.
 #pragma once
 
 #include <cstdint>

@@ -8,6 +8,7 @@
 
 #include "common/cli.h"
 #include "common/error.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/table.h"
@@ -135,6 +136,81 @@ TEST(LogHistogram, NegativeGoesToUnderflow) {
   EXPECT_EQ(h.underflow(), 1);
 }
 
+TEST(LogHistogram, HugeValueGoesToOverflow) {
+  LogHistogram h;
+  h.add(100);
+  h.add(std::int64_t{1} << 62);  // first value past the bucketed range
+  EXPECT_EQ(h.count(), 1);       // overflow excluded from in-range count
+  EXPECT_EQ(h.overflow(), 1);
+  EXPECT_EQ(h.underflow(), 0);
+  // The saturated value must not drag the percentile into the top bucket.
+  EXPECT_LE(h.percentile(100), 128.0);
+  // Nor bias the mean of the in-range samples.
+  EXPECT_DOUBLE_EQ(h.mean(), 100.0);
+}
+
+TEST(LogHistogram, TopBucketBoundaryStillCounts) {
+  LogHistogram h;
+  h.add((std::int64_t{1} << 62) - 1);  // largest representable value
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.overflow(), 0);
+  const double p = h.percentile(50);
+  EXPECT_GE(p, static_cast<double>(std::int64_t{1} << 61));
+  EXPECT_LE(p, static_cast<double>(std::int64_t{1} << 62));
+}
+
+TEST(LogHistogram, ZeroAndOneLandInDistinctBuckets) {
+  LogHistogram h;
+  for (int i = 0; i < 100; ++i) h.add(0);
+  h.add(1);
+  EXPECT_EQ(h.count(), 101);
+  EXPECT_LT(h.percentile(50), 1.0);   // the zero bucket
+  EXPECT_GE(h.percentile(100), 1.0);  // the [1,2) bucket
+}
+
+TEST(MetricsRegistry, HandlesAreStableAcrossRegistrations) {
+  MetricsRegistry reg;
+  MetricsRegistry::Counter& a = reg.counter("a");
+  a.add(3);
+  // Register enough further sinks to force storage growth. (Avoids
+  // operator+(const char*, string&&), which trips GCC 12's -Wrestrict
+  // false positive under -Werror.)
+  for (int i = 0; i < 100; ++i) reg.counter(std::string("c") += std::to_string(i));
+  a.add(4);
+  EXPECT_EQ(reg.counter("a").value, 7);  // same sink, by name
+  EXPECT_EQ(&reg.counter("a"), &a);      // same address, too
+  EXPECT_EQ(reg.num_counters(), 101u);
+}
+
+TEST(MetricsRegistry, FindDoesNotCreate) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.find_counter("missing"), nullptr);
+  EXPECT_EQ(reg.find_stats("missing"), nullptr);
+  EXPECT_EQ(reg.find_histogram("missing"), nullptr);
+  EXPECT_EQ(reg.num_counters(), 0u);
+  reg.counter("present").add(5);
+  ASSERT_NE(reg.find_counter("present"), nullptr);
+  EXPECT_EQ(reg.find_counter("present")->value, 5);
+  // Kinds are independent namespaces.
+  EXPECT_EQ(reg.find_histogram("present"), nullptr);
+}
+
+TEST(MetricsRegistry, IteratesInRegistrationOrder) {
+  MetricsRegistry reg;
+  reg.counter("zebra").add(1);
+  reg.counter("apple").add(2);
+  reg.stats("s").add(1.5);
+  reg.histogram("h").add(10);
+  std::vector<std::string> names;
+  reg.for_each_counter(
+      [&](const std::string& name, const MetricsRegistry::Counter&) { names.push_back(name); });
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "zebra");  // not alphabetical
+  EXPECT_EQ(names[1], "apple");
+  EXPECT_EQ(reg.num_stats(), 1u);
+  EXPECT_EQ(reg.num_histograms(), 1u);
+}
+
 TEST(SampleSet, PercentileNearestRank) {
   SampleSet s;
   for (int i = 1; i <= 100; ++i) s.add(i);
@@ -207,6 +283,62 @@ TEST(Cli, HelpReturnsFalse) {
   Cli cli("test");
   const char* argv[] = {"prog", "--help"};
   EXPECT_FALSE(cli.parse(2, const_cast<char**>(argv)));
+}
+
+TEST(Cli, ShortHelpReturnsFalse) {
+  Cli cli("test");
+  const char* argv[] = {"prog", "-h"};
+  EXPECT_FALSE(cli.parse(2, const_cast<char**>(argv)));
+}
+
+TEST(Cli, UnknownShortFlagThrows) {
+  Cli cli("test");
+  const char* argv[] = {"prog", "-x"};
+  EXPECT_THROW(cli.parse(2, const_cast<char**>(argv)), ArgumentError);
+}
+
+TEST(Cli, RejectsIntegerWithTrailingJunk) {
+  for (const char* bad : {"--count=12x", "--count=0x10", "--count=", "--count=7 "}) {
+    Cli cli("test");
+    cli.flag("count", std::int64_t{5}, "a count");
+    const char* argv[] = {"prog", bad};
+    EXPECT_THROW(cli.parse(2, const_cast<char**>(argv)), ArgumentError) << bad;
+  }
+}
+
+TEST(Cli, RejectsDoubleWithTrailingJunk) {
+  for (const char* bad : {"--rate=0.9o", "--rate=fast", "--rate=1.0.0", "--rate="}) {
+    Cli cli("test");
+    cli.flag("rate", 0.5, "a rate");
+    const char* argv[] = {"prog", bad};
+    EXPECT_THROW(cli.parse(2, const_cast<char**>(argv)), ArgumentError) << bad;
+  }
+}
+
+TEST(Cli, AcceptsScientificAndSignedNumbers) {
+  Cli cli("test");
+  cli.flag("rate", 0.5, "a rate").flag("count", std::int64_t{0}, "a count");
+  const char* argv[] = {"prog", "--rate=2.5e-3", "--count=-42"};
+  ASSERT_TRUE(cli.parse(3, const_cast<char**>(argv)));
+  EXPECT_DOUBLE_EQ(cli.get_double("rate"), 2.5e-3);
+  EXPECT_EQ(cli.get_int("count"), -42);
+}
+
+TEST(Cli, BoolAcceptsOnlyCanonicalValues) {
+  for (const char* bad : {"--full=yes", "--full=no", "--full=TRUE", "--full=2", "--full="}) {
+    Cli cli("test");
+    cli.flag("full", false, "a switch");
+    const char* argv[] = {"prog", bad};
+    EXPECT_THROW(cli.parse(2, const_cast<char**>(argv)), ArgumentError) << bad;
+  }
+  Cli cli("test");
+  cli.flag("a", true, "sw").flag("b", false, "sw").flag("c", false, "sw").flag("d", false, "sw");
+  const char* argv[] = {"prog", "--a=0", "--b=1", "--c=true", "--d=false"};
+  ASSERT_TRUE(cli.parse(5, const_cast<char**>(argv)));
+  EXPECT_FALSE(cli.get_bool("a"));
+  EXPECT_TRUE(cli.get_bool("b"));
+  EXPECT_TRUE(cli.get_bool("c"));
+  EXPECT_FALSE(cli.get_bool("d"));
 }
 
 TEST(Units, Conversions) {

@@ -1,0 +1,250 @@
+// Observability-layer tests: run-phase accounting, the warmup-window
+// latency filter, the perturbation-free guarantee of detailed metrics, and
+// the per-port/VC instrumentation itself.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/experiment.h"
+#include "sim/network.h"
+#include "sim/traffic.h"
+#include "topology/mlfm.h"
+#include "topology/slim_fly.h"
+
+namespace d2net {
+namespace {
+
+SimConfig base_config(bool metrics) {
+  SimConfig cfg;  // paper defaults: 100 Gb/s, 50 ns links, 100 ns routers
+  cfg.seed = 11;
+  cfg.metrics.enabled = metrics;
+  cfg.metrics.sample_period = us(0.5);
+  return cfg;
+}
+
+// ------------------------------------------------- measurement-window fix
+
+TEST(MeasurementWindow, CarryoverDeliveriesExcludedFromLatencyStats) {
+  // At 70% load a warmup boundary always cuts through in-flight packets:
+  // some are generated before the window opens and delivered inside it.
+  // The packet trace records every in-window delivery with its gen_time,
+  // so it is ground truth for what the latency statistics should count.
+  const Topology topo = build_mlfm(4);
+  SimStack stack(topo, RoutingStrategy::kMinimal, base_config(false));
+  PacketTraceSink trace;
+  stack.sim().set_trace(&trace);
+  const UniformTraffic uni(topo.num_nodes());
+  const TimePs warmup = us(4);
+  const OpenLoopResult r = stack.run_open_loop(uni, 0.7, us(16), warmup);
+
+  ASSERT_EQ(trace.dropped(), 0);
+  std::int64_t carryover = 0;
+  std::int64_t window_born = 0;
+  for (const PacketTraceEntry& e : trace.entries()) {
+    ++(e.gen_time < warmup ? carryover : window_born);
+  }
+  ASSERT_GT(carryover, 0) << "scenario must exercise warmup-born deliveries";
+  ASSERT_GT(window_born, 0);
+  // The core regression: packets_measured counts only window-born packets.
+  EXPECT_EQ(r.packets_measured, window_born);
+  EXPECT_EQ(r.phases.delivered_measured, window_born);
+  EXPECT_EQ(r.phases.delivered_carryover, carryover);
+}
+
+TEST(RunPhases, AccountingIdentitiesHold) {
+  const Topology topo = build_slim_fly(5);
+  SimStack stack(topo, RoutingStrategy::kMinimal, base_config(false));
+  const UniformTraffic uni(topo.num_nodes());
+  const OpenLoopResult r = stack.run_open_loop(uni, 0.6, us(12), us(3));
+  const RunPhaseBreakdown& ph = r.phases;
+
+  EXPECT_GT(ph.injected_warmup, 0);
+  EXPECT_GT(ph.injected_measured, 0);
+  EXPECT_GT(ph.delivered_warmup, 0);
+  EXPECT_GT(ph.delivered_measured, 0);
+  EXPECT_EQ(ph.injected_warmup + ph.injected_measured, r.packets_injected);
+  // Every injected packet is delivered in exactly one phase or still in
+  // flight when the run stops.
+  EXPECT_EQ(ph.delivered_warmup + ph.delivered_measured + ph.delivered_carryover +
+                ph.in_flight_at_end,
+            r.packets_injected);
+  EXPECT_EQ(ph.delivered_measured, r.packets_measured);
+}
+
+// -------------------------------------------- perturbation-free guarantee
+
+TEST(Metrics, EnablingDoesNotPerturbResults) {
+  // Same topology, seed and workload; one run with full instrumentation,
+  // one without. Every core result field must be bit-identical — the
+  // instrumentation must not touch the RNG or the event order. UGAL is the
+  // most sensitive strategy here because it reads live queue state.
+  const Topology topo = build_slim_fly(5);
+  const UniformTraffic uni(topo.num_nodes());
+  SimStack plain(topo, RoutingStrategy::kUgal, base_config(false));
+  SimStack instrumented(topo, RoutingStrategy::kUgal, base_config(true));
+  const OpenLoopResult a = plain.run_open_loop(uni, 0.8, us(12), us(3));
+  const OpenLoopResult b = instrumented.run_open_loop(uni, 0.8, us(12), us(3));
+
+  EXPECT_EQ(a.packets_injected, b.packets_injected);
+  EXPECT_EQ(a.packets_measured, b.packets_measured);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_DOUBLE_EQ(a.accepted_throughput, b.accepted_throughput);
+  EXPECT_DOUBLE_EQ(a.avg_latency_ns, b.avg_latency_ns);
+  EXPECT_DOUBLE_EQ(a.p50_latency_ns, b.p50_latency_ns);
+  EXPECT_DOUBLE_EQ(a.p99_latency_ns, b.p99_latency_ns);
+  EXPECT_DOUBLE_EQ(a.avg_hops, b.avg_hops);
+  EXPECT_DOUBLE_EQ(a.fraction_minimal, b.fraction_minimal);
+  EXPECT_DOUBLE_EQ(a.jain_fairness, b.jain_fairness);
+  EXPECT_EQ(a.phases.injected_warmup, b.phases.injected_warmup);
+  EXPECT_EQ(a.phases.injected_measured, b.phases.injected_measured);
+  EXPECT_EQ(a.phases.delivered_warmup, b.phases.delivered_warmup);
+  EXPECT_EQ(a.phases.delivered_measured, b.phases.delivered_measured);
+  EXPECT_EQ(a.phases.delivered_carryover, b.phases.delivered_carryover);
+  EXPECT_EQ(a.phases.in_flight_at_end, b.phases.in_flight_at_end);
+  // The detail block only exists on the instrumented run.
+  EXPECT_EQ(a.metrics, nullptr);
+  ASSERT_NE(b.metrics, nullptr);
+}
+
+// ------------------------------------------------ per-port/VC accounting
+
+TEST(Metrics, PortAndVcAccountingIsConsistent) {
+  const Topology topo = build_slim_fly(5);
+  SimStack stack(topo, RoutingStrategy::kValiant, base_config(true));
+  const UniformTraffic uni(topo.num_nodes());
+  const OpenLoopResult r = stack.run_open_loop(uni, 0.5, us(12), us(3));
+  ASSERT_NE(r.metrics, nullptr);
+  const SimMetrics& m = *r.metrics;
+
+  // Network ports must agree exactly with channel_stats(), which gates its
+  // byte counts at the same grant point.
+  const auto chans = stack.sim().channel_stats();
+  std::vector<const PortMetrics*> net_ports;
+  std::int64_t ejected_packets = 0;
+  for (const PortMetrics& pm : m.ports) {
+    if (pm.peer_router >= 0) {
+      net_ports.push_back(&pm);
+    } else {
+      ASSERT_GE(pm.peer_node, 0);
+      ejected_packets += pm.packets_forwarded;
+    }
+    std::int64_t vc_packets = 0;
+    std::int64_t vc_bytes = 0;
+    std::int64_t vc_routed = 0;
+    for (const VcMetrics& vm : pm.vcs) {
+      vc_packets += vm.packets;
+      vc_bytes += vm.bytes;
+      vc_routed += vm.minimal_packets + vm.indirect_packets;
+    }
+    EXPECT_EQ(vc_packets, pm.packets_forwarded);
+    EXPECT_EQ(vc_bytes, pm.bytes_forwarded);
+    EXPECT_EQ(vc_routed, pm.packets_forwarded);
+  }
+  ASSERT_EQ(net_ports.size(), chans.size());
+  for (std::size_t i = 0; i < chans.size(); ++i) {
+    EXPECT_EQ(net_ports[i]->router, chans[i].router);
+    EXPECT_EQ(net_ports[i]->peer_router, chans[i].neighbor);
+    EXPECT_EQ(net_ports[i]->bytes_forwarded, chans[i].bytes);
+  }
+  // INR routes every packet through an intermediate, so both route classes
+  // and more than one VC must show traffic.
+  std::int64_t minimal = 0;
+  std::int64_t indirect = 0;
+  int vcs_used = 0;
+  std::vector<std::int64_t> by_vc;
+  for (const PortMetrics& pm : m.ports) {
+    if (by_vc.size() < pm.vcs.size()) by_vc.resize(pm.vcs.size());
+    for (std::size_t v = 0; v < pm.vcs.size(); ++v) {
+      minimal += pm.vcs[v].minimal_packets;
+      indirect += pm.vcs[v].indirect_packets;
+      by_vc[v] += pm.vcs[v].packets;
+    }
+  }
+  for (std::int64_t n : by_vc) vcs_used += n > 0 ? 1 : 0;
+  EXPECT_GT(indirect, 0);
+  EXPECT_GT(vcs_used, 1);
+  // Ejection ports see every in-window delivery granted to a NIC.
+  EXPECT_GT(ejected_packets, 0);
+
+  // Registry scalars.
+  const MetricsRegistry::Counter* grants = m.registry.find_counter("grants");
+  ASSERT_NE(grants, nullptr);
+  EXPECT_GT(grants->value, 0);
+  const MetricsRegistry::Counter* samples = m.registry.find_counter("occupancy_samples");
+  ASSERT_NE(samples, nullptr);
+  EXPECT_EQ(samples->value, static_cast<std::int64_t>(m.occupancy.size()));
+  const LogHistogram* carry = m.registry.find_histogram("carryover_latency_ns");
+  ASSERT_NE(carry, nullptr);
+  EXPECT_EQ(carry->count(), m.phases.delivered_carryover);
+}
+
+TEST(Metrics, OccupancySeriesCoversTheRun) {
+  const Topology topo = build_mlfm(4);
+  SimConfig cfg = base_config(true);
+  SimStack stack(topo, RoutingStrategy::kMinimal, cfg);
+  const UniformTraffic uni(topo.num_nodes());
+  const OpenLoopResult r = stack.run_open_loop(uni, 0.6, us(12), us(3));
+  ASSERT_NE(r.metrics, nullptr);
+  const SimMetrics& m = *r.metrics;
+  ASSERT_FALSE(m.occupancy.empty());
+  EXPECT_EQ(m.sample_period, cfg.metrics.sample_period);
+  EXPECT_EQ(m.occupancy.front().time, cfg.metrics.sample_period);
+  for (std::size_t i = 1; i < m.occupancy.size(); ++i) {
+    EXPECT_EQ(m.occupancy[i].time - m.occupancy[i - 1].time, cfg.metrics.sample_period);
+  }
+  EXPECT_LE(m.occupancy.back().time, us(12));
+  // Ticks cover the whole run: floor(duration / period) of them.
+  EXPECT_EQ(static_cast<std::int64_t>(m.occupancy.size()), us(12) / cfg.metrics.sample_period);
+  // At 60% load the network holds traffic at some sampled instant.
+  std::int64_t peak = 0;
+  for (const OccupancySample& s : m.occupancy) {
+    peak = std::max(peak, s.buffered_bytes);
+    EXPECT_GE(s.buffered_bytes, 0);
+  }
+  EXPECT_GT(peak, 0);
+}
+
+TEST(Metrics, CreditStallTimeAccruesUnderAdversarialSaturation) {
+  // Worst-case traffic at full load drives the hot channels into credit
+  // back-pressure, so some port must accumulate stall time.
+  const Topology topo = build_slim_fly(5);
+  const MinimalTable table(topo);
+  Rng rng(3);
+  const auto wc = make_worst_case(topo, table, rng);
+  SimStack stack(topo, RoutingStrategy::kMinimal, base_config(true));
+  const OpenLoopResult r = stack.run_open_loop(*wc, 1.0, us(12), us(3));
+  ASSERT_NE(r.metrics, nullptr);
+
+  TimePs total_stall = 0;
+  for (const PortMetrics& pm : r.metrics->ports) {
+    EXPECT_GE(pm.credit_stall_ps, 0);
+    total_stall += pm.credit_stall_ps;
+  }
+  EXPECT_GT(total_stall, 0);
+  const MetricsRegistry::Counter* skips =
+      r.metrics->registry.find_counter("credit_blocked_skips");
+  ASSERT_NE(skips, nullptr);
+  EXPECT_GT(skips->value, 0);
+}
+
+TEST(Metrics, ExchangeRunExportsMetrics) {
+  const Topology topo = build_mlfm(4);
+  SimStack off(topo, RoutingStrategy::kMinimal, base_config(false));
+  SimStack on(topo, RoutingStrategy::kMinimal, base_config(true));
+  const ExchangePlan plan = make_all_to_all_plan(topo.num_nodes(), 4096);
+  const ExchangeResult a = off.run_exchange(plan, us(2000));
+  const ExchangeResult b = on.run_exchange(plan, us(2000));
+  ASSERT_TRUE(a.completed);
+  ASSERT_TRUE(b.completed);
+  EXPECT_EQ(a.metrics, nullptr);
+  ASSERT_NE(b.metrics, nullptr);
+  // Bit-identical core results with metrics enabled.
+  EXPECT_DOUBLE_EQ(a.completion_us, b.completion_us);
+  EXPECT_DOUBLE_EQ(a.effective_throughput, b.effective_throughput);
+  EXPECT_DOUBLE_EQ(a.avg_latency_ns, b.avg_latency_ns);
+  EXPECT_GT(b.metrics->occupancy.size(), 0u);
+}
+
+}  // namespace
+}  // namespace d2net

@@ -157,7 +157,15 @@ TEST(SimEdge, PacketTraceRecordsDeliveries) {
   stack.sim().set_trace(&trace);
   auto shift = make_node_shift(topo.num_nodes(), topo.endpoints_of(0));
   const OpenLoopResult r = stack.run_open_loop(*shift, 0.1, us(16), us(4));
-  ASSERT_EQ(static_cast<std::int64_t>(trace.entries().size()), r.packets_measured);
+  // The trace holds every in-window delivery — the measured packets plus
+  // the warmup-born carryover the latency statistics exclude.
+  ASSERT_EQ(static_cast<std::int64_t>(trace.entries().size()),
+            r.phases.delivered_measured + r.phases.delivered_carryover);
+  std::int64_t window_born = 0;
+  for (const PacketTraceEntry& e : trace.entries()) {
+    window_born += e.gen_time >= us(4) ? 1 : 0;
+  }
+  EXPECT_EQ(window_born, r.packets_measured);
   for (const PacketTraceEntry& e : trace.entries()) {
     EXPECT_EQ(e.hops, 2);
     EXPECT_TRUE(e.minimal);
