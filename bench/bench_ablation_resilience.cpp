@@ -34,6 +34,13 @@ int main(int argc, char** argv) {
       Rng rng(opts.seed + static_cast<std::uint64_t>(frac * 1000));
       const int count = static_cast<int>(frac * sys.topo.num_links());
       const DegradeResult deg = remove_random_links(sys.topo, count, rng);
+      if (deg.shortfall()) {
+        std::fprintf(stderr,
+                     "warning: %s: keep_connected vetoed %d of %d requested link "
+                     "removals; the \"fail %%\" column overstates this row's damage\n",
+                     sys.label.c_str(), deg.requested - static_cast<int>(deg.removed.size()),
+                     deg.requested);
+      }
       const DistanceMatrix dist = all_pairs_distances(deg.topo);
       const int diam = node_diameter(deg.topo, dist);
       const UniformTraffic uni(deg.topo.num_nodes());

@@ -1,0 +1,192 @@
+// Ablation (beyond the paper): TRANSIENT mid-run faults. A burst of random
+// links dies partway through the measurement window and (optionally) comes
+// back later. Static minimal routing with no recovery keeps aiming at the
+// dead links and permanently loses everything they would have carried;
+// fault-aware UGAL-Th (table invalidation + salvage reroute) dips while the
+// burst is live and climbs back once paths are rebuilt — the degradation-
+// and-recovery curve printed per system. A final demo deliberately isolates
+// a destination router so the run cannot finish, showing the no-progress
+// watchdog ending it gracefully with wedged=true and partial stats instead
+// of spinning forever. See docs/resilience.md for the fault model.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "sim/exchange.h"
+#include "sim/fault.h"
+
+using namespace d2net;
+using namespace d2net::bench;
+
+namespace {
+
+struct Mode {
+  const char* label;
+  RoutingStrategy strategy;
+  FaultRecovery recovery;
+  bool reroute;
+};
+
+// Contrast pair: the paper-pessimal static baseline vs the full recovery
+// machinery.
+const Mode kModes[] = {
+    {"MIN static", RoutingStrategy::kMinimal, FaultRecovery::kNone, false},
+    {"UGAL-Th reroute", RoutingStrategy::kUgalThreshold, FaultRecovery::kSalvage, true},
+};
+
+void wedge_demo(const SystemConfig& sys, std::uint64_t seed) {
+  // One node streams 32 KB to a node on a router that dies mid-transfer.
+  // With static routing and no recovery the exchange can never complete:
+  // in-flight packets are destroyed, the injection VOQ head stalls against
+  // the dead port, and nothing moves — the watchdog must end the run.
+  const Topology& topo = sys.topo;
+  int src = 0;
+  const int src_router = topo.router_of_node(src);
+  int dst = -1;
+  for (int n = topo.num_nodes() - 1; n >= 0; --n) {
+    if (topo.router_of_node(n) != src_router) {
+      dst = n;
+      break;
+    }
+  }
+  ExchangePlan plan;
+  plan.name = "wedge-demo";
+  plan.per_node.resize(topo.num_nodes());
+  plan.per_node[src].push_back({dst, 32768});
+
+  SimConfig cfg;
+  cfg.seed = seed;
+  cfg.fault.schedule.push_back(
+      {us(1.0), FaultKind::kRouterDown, topo.router_of_node(dst), -1});
+  cfg.fault.recovery = FaultRecovery::kNone;
+  cfg.fault.reroute = false;
+  cfg.fault.watchdog_interval = us(10);
+
+  SimStack stack(topo, RoutingStrategy::kMinimal, cfg);
+  const ExchangeResult r = stack.run_exchange(plan, us(5'000'000));
+  std::printf(
+      "\n== watchdog demo: %s, destination router killed mid-transfer ==\n"
+      "completed=%s wedged=%s delivered=%lld/%lld B\n",
+      sys.label.c_str(), r.completed ? "true" : "false",
+      r.faults.wedged ? "true" : "false", static_cast<long long>(r.delivered_bytes),
+      static_cast<long long>(r.total_bytes));
+  if (r.faults.wedged) {
+    std::printf(
+        "watchdog: t=%.1fus in_flight=%lld nic_backlog=%lld stalled_heads=%d "
+        "zero_credit_vcs=%d\n",
+        to_us(r.faults.watchdog.time), static_cast<long long>(r.faults.watchdog.in_flight),
+        static_cast<long long>(r.faults.watchdog.nic_backlog),
+        r.faults.watchdog.stalled_heads, r.faults.watchdog.zero_credit_vcs);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("Ablation: transient link-fault burst, static loss vs fault-aware recovery");
+  add_standard_flags(cli);
+  cli.flag("load", 0.7, "offered uniform load")
+      .flag("burst-frac", 0.05, "fraction of links in the fault burst")
+      .flag("restore", true, "bring the burst links back up mid-run")
+      .flag("wedge-demo", true, "also run the disconnecting-fault watchdog demo");
+  if (!cli.parse(argc, argv)) return 0;
+  const BenchOptions opts = read_standard_flags(cli);
+  const double load = cli.get_double("load");
+  const double burst_frac = cli.get_double("burst-frac");
+  const bool restore = cli.get_bool("restore");
+
+  // Burst a quarter into the measurement window; restoration halfway, so
+  // both the dip and the recovery land inside the measured buckets.
+  const TimePs t_burst = opts.warmup + (opts.duration - opts.warmup) / 4;
+  const TimePs restore_after = restore ? (opts.duration - opts.warmup) / 4 : 0;
+  const TimePs bucket = opts.duration / 12;
+
+  BenchReport report("ablation_transient_faults", opts);
+  std::printf("== transient fault burst: %.0f%% of links down at %.1fus%s ==\n",
+              burst_frac * 100, to_us(t_burst),
+              restore ? ", restored later" : ", permanent");
+
+  Table summary({"system", "routing", "accepted", "dropped", "retried", "lost",
+                 "reroutes", "unreach", "wedged"});
+  for (const auto& sys : paper_systems(opts.full)) {
+    if (sys.label == "SF p=cl") continue;  // one SF flavor suffices here
+    const int count =
+        std::max(1, static_cast<int>(burst_frac * sys.topo.num_links()));
+    const UniformTraffic uni(sys.topo.num_nodes());
+
+    std::vector<std::vector<SweepPoint>> series;
+    std::vector<std::string> labels;
+    const auto wall_start = std::chrono::steady_clock::now();
+    std::int64_t events = 0;
+    for (const Mode& mode : kModes) {
+      SimConfig cfg;
+      cfg.seed = opts.seed;
+      cfg.fault.schedule =
+          make_link_burst(sys.topo, t_burst, count, opts.seed, restore_after);
+      cfg.fault.recovery = mode.recovery;
+      cfg.fault.reroute = mode.reroute;
+      cfg.fault.recovery_sample = bucket;
+
+      SimStack stack(sys.topo, mode.strategy, cfg);
+      const OpenLoopResult r = stack.run_open_loop(uni, load, opts.duration, opts.warmup);
+      events += r.events_processed;
+      summary.add(sys.label, mode.label, fmt(r.accepted_throughput, 3),
+                  r.faults.packets_dropped, r.faults.packets_retried,
+                  r.faults.packets_lost, r.faults.reroutes, r.faults.unreachable_pairs,
+                  r.faults.wedged ? "yes" : "no");
+      labels.push_back(mode.label);
+      series.push_back({SweepPoint{load, r}});
+    }
+
+    // Degradation-and-recovery curve: delivered bytes per bucket, normalized
+    // to each series' own peak bucket so the dip depth and recovery slope
+    // compare directly across routings.
+    Table curve({"t (us)", std::string(kModes[0].label) + " rel",
+                 std::string(kModes[1].label) + " rel"});
+    std::size_t buckets = 0;
+    for (const auto& s : series) {
+      buckets = std::max(buckets, s[0].result.faults.delivered_bytes_buckets.size());
+    }
+    std::vector<double> peak(series.size(), 0.0);
+    for (std::size_t m = 0; m < series.size(); ++m) {
+      for (std::int64_t b : series[m][0].result.faults.delivered_bytes_buckets) {
+        peak[m] = std::max(peak[m], static_cast<double>(b));
+      }
+    }
+    for (std::size_t i = 0; i < buckets; ++i) {
+      std::vector<std::string> row{fmt(to_us(bucket) * static_cast<double>(i), 1)};
+      for (std::size_t m = 0; m < series.size(); ++m) {
+        const auto& bks = series[m][0].result.faults.delivered_bytes_buckets;
+        const double v = i < bks.size() ? static_cast<double>(bks[i]) : 0.0;
+        row.push_back(peak[m] > 0 ? fmt(v / peak[m], 2) : "-");
+      }
+      curve.add_row(std::move(row));
+    }
+    std::printf("\n== %s: delivered bytes per %.1fus bucket (peak-relative) ==\n",
+                sys.label.c_str(), to_us(bucket));
+    curve.print(std::cout);
+    if (opts.csv) curve.print_csv(std::cout);
+
+    SweepRunStats stats;
+    stats.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+            .count();
+    stats.events = events;
+    stats.points = static_cast<std::int64_t>(series.size());
+    stats.jobs = 1;
+    report.add_sweep("transient faults — " + sys.label, labels, series, stats);
+  }
+  std::printf("\n== summary ==\n");
+  summary.print(std::cout);
+  if (opts.csv) summary.print_csv(std::cout);
+
+  if (cli.get_bool("wedge-demo")) {
+    wedge_demo(paper_systems(opts.full).front(), opts.seed);
+  }
+  report.write();
+  return 0;
+}

@@ -187,6 +187,32 @@ void write_metrics(std::ostream& os, const SimMetrics& m) {
   os << "]}";
 }
 
+void write_faults(std::ostream& os, const FaultStats& f) {
+  os << "{\"faults_applied\": " << f.faults_applied
+     << ", \"packets_dropped\": " << f.packets_dropped
+     << ", \"packets_retried\": " << f.packets_retried
+     << ", \"packets_lost\": " << f.packets_lost
+     << ", \"reroutes\": " << f.reroutes
+     << ", \"unreachable_pairs\": " << f.unreachable_pairs
+     << ", \"wedged\": " << (f.wedged ? "true" : "false");
+  if (f.wedged) {
+    os << ", \"watchdog\": {\"t_us\": " << to_us(f.watchdog.time)
+       << ", \"in_flight\": " << f.watchdog.in_flight
+       << ", \"nic_backlog\": " << f.watchdog.nic_backlog
+       << ", \"stalled_heads\": " << f.watchdog.stalled_heads
+       << ", \"zero_credit_vcs\": " << f.watchdog.zero_credit_vcs << "}";
+  }
+  if (!f.delivered_bytes_buckets.empty()) {
+    os << ", \"bucket_width_us\": " << to_us(f.bucket_width)
+       << ", \"delivered_bytes_buckets\": [";
+    for (std::size_t i = 0; i < f.delivered_bytes_buckets.size(); ++i) {
+      os << (i ? ", " : "") << f.delivered_bytes_buckets[i];
+    }
+    os << "]";
+  }
+  os << "}";
+}
+
 }  // namespace
 
 BenchReport::BenchReport(std::string bench_name, const BenchOptions& opts)
@@ -243,6 +269,10 @@ void BenchReport::write() const {
            << ", \"packets_measured\": " << pt.result.packets_measured
            << ", \"phases\": ";
         write_phases(os, pt.result.phases);
+        if (pt.result.faults.enabled) {
+          os << ", \"faults\": ";
+          write_faults(os, pt.result.faults);
+        }
         if (pt.result.metrics != nullptr) {
           os << ", \"metrics\": ";
           write_metrics(os, *pt.result.metrics);

@@ -69,6 +69,12 @@ Topology paper_oft(bool full);
 ///                    "delivered_warmup": ..., "delivered_measured": ...,
 ///                    "delivered_carryover": ..., "in_flight_at_end": ...}}]}]}]}
 ///
+/// Points run with a non-empty fault schedule additionally carry a "faults"
+/// object: {"faults_applied", "packets_dropped", "packets_retried",
+/// "packets_lost", "reroutes", "unreachable_pairs", "wedged", plus a
+/// "watchdog" snapshot when wedged and "delivered_bytes_buckets" /
+/// "bucket_width_us" when recovery sampling is on} (see docs/resilience.md).
+///
 /// With --metrics each point additionally carries a "metrics" object:
 /// {"sample_period_us": ..., "counters": {name: value, ...},
 ///  "histograms": {name: {"count", "mean", "p50", "p99", "underflow",

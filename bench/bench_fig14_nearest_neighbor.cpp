@@ -44,8 +44,12 @@ int main(int argc, char** argv) {
                               RoutingStrategy::kUgalThreshold}) {
       SimStack stack(sys.topo, s, cfg);
       const ExchangeResult r = stack.run_exchange(plan, us(20'000'000));
+      // An aborted run has no meaningful completion time; an explicit
+      // marker beats a misleading 0.0 in the table/CSV/JSON.
+      const char* abort_marker = r.faults.wedged ? "WEDGED" : "TIMEOUT";
       t.add(sys.label, torus, to_string(s),
-            r.completed ? fmt(r.effective_throughput, 3) : "timeout", fmt(r.completion_us, 1));
+            r.completed ? fmt(r.effective_throughput, 3) : abort_marker,
+            r.completed ? fmt(r.completion_us, 1) : abort_marker);
     }
   }
   t.print(std::cout);

@@ -2,10 +2,14 @@
 # Tier-1 CI: a clean release build (warnings are errors) with the full
 # ctest suite, then a ThreadSanitizer build that runs the parallel-sweep
 # determinism test to prove the sweep runner is race-free (not just
-# accidentally ordered).
+# accidentally ordered), then an ASan+UBSan build that runs the
+# fault-injection and simulator-edge suites — the code paths that tear
+# down in-flight state mid-run and are therefore the likeliest source of
+# lifetime/indexing bugs.
 #
-#   scripts/ci.sh            # both stages, build trees under build-ci*/
+#   scripts/ci.sh            # all stages, build trees under build-ci*/
 #   SKIP_TSAN=1 scripts/ci.sh
+#   SKIP_ASAN=1 scripts/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,6 +25,16 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   cmake -B build-ci-tsan -S . -DD2NET_SANITIZE=thread >/dev/null
   cmake --build build-ci-tsan -j "$JOBS" --target test_sweep_runner
   TSAN_OPTIONS="halt_on_error=1" ./build-ci-tsan/tests/test_sweep_runner
+fi
+
+if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
+  echo "=== stage 3: ASan+UBSan fault-injection / sim-edge check ==="
+  cmake -B build-ci-asan -S . -DD2NET_SANITIZE=address,undefined >/dev/null
+  cmake --build build-ci-asan -j "$JOBS" --target test_faults --target test_sim_edge
+  ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ./build-ci-asan/tests/test_faults
+  ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ./build-ci-asan/tests/test_sim_edge
 fi
 
 echo "CI OK"

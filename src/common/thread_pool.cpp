@@ -35,6 +35,17 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mu_);
   cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;  // the pool stays usable after the rethrow
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::record_error(std::exception_ptr error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!first_error_) first_error_ = std::move(error);
 }
 
 int ThreadPool::hardware_concurrency() {
@@ -48,11 +59,17 @@ void ThreadPool::parallel_for(std::size_t n,
   // Shared claim counter: workers and the caller pull the next unclaimed
   // index until none remain. shared_ptr keeps it alive for stragglers.
   auto next = std::make_shared<std::atomic<std::size_t>>(0);
-  auto run_claims = [next, n, &body] {
+  auto run_claims = [this, next, n, &body] {
     for (;;) {
       const std::size_t i = next->fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
-      body(i);
+      // Capture here (not only in worker_loop) so a throw on the calling
+      // thread surfaces through the same wait_idle() path as a worker's.
+      try {
+        body(i);
+      } catch (...) {
+        record_error(std::current_exception());
+      }
     }
   };
   const std::size_t helpers = std::min(static_cast<std::size_t>(size()), n - 1);
@@ -71,7 +88,11 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    try {
+      task();
+    } catch (...) {
+      record_error(std::current_exception());
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;

@@ -8,6 +8,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -26,11 +27,13 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues one task. Tasks must not throw (exceptions would tear down
-  /// the worker); wrap fallible work and capture errors into the result.
+  /// Enqueues one task. A task that throws does not tear down its worker:
+  /// the first exception is captured and rethrown from the next wait_idle()
+  /// (or parallel_for()) on the calling thread; later ones are dropped.
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished executing.
+  /// Blocks until every submitted task has finished executing, then
+  /// rethrows the first exception any task raised since the last wait.
   void wait_idle();
 
   int size() const { return static_cast<int>(workers_.size()); }
@@ -41,11 +44,14 @@ class ThreadPool {
   /// Runs body(0) .. body(n-1) across the pool plus the calling thread and
   /// returns when all are done. Indices are claimed from a shared counter,
   /// so any thread may run any index; bodies touching disjoint state need
-  /// no further synchronization.
+  /// no further synchronization. If any body throws, the remaining claimed
+  /// indices still run and the first exception is rethrown here afterwards.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
  private:
   void worker_loop();
+  /// Stores the first captured exception (later ones are dropped).
+  void record_error(std::exception_ptr error);
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
@@ -54,6 +60,7 @@ class ThreadPool {
   std::condition_variable cv_idle_;   ///< signalled when a task finishes
   std::size_t in_flight_ = 0;         ///< queued + executing tasks
   bool stop_ = false;
+  std::exception_ptr first_error_;    ///< guarded by mu_; cleared on rethrow
 };
 
 }  // namespace d2net

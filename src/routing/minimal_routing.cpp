@@ -15,6 +15,14 @@ Route MinimalRouting::route(int src_router, int dst_router, Rng& rng) const {
 
 void MinimalRouting::route_into(int src_router, int dst_router, Rng& rng, Route& out) const {
   D2NET_REQUIRE(src_router != dst_router, "route() needs distinct routers");
+  if (table_.distance(src_router, dst_router) < 0) {
+    // Destination unreachable on the (fault-degraded) table: an empty route
+    // tells the simulator to drop or retry the packet.
+    out.routers.clear();
+    out.vcs.clear();
+    out.intermediate_pos = -1;
+    return;
+  }
   table_.sample_path_into(src_router, dst_router, rng, out.routers);
   out.intermediate_pos = -1;
   assign_vcs(out, policy_);

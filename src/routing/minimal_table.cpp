@@ -7,43 +7,49 @@
 
 namespace d2net {
 
-MinimalTable::MinimalTable(const Topology& topo) : n_(topo.num_routers()) {
-  dist_.assign(static_cast<std::size_t>(n_) * n_, -1);
-  nh_off_.assign(static_cast<std::size_t>(n_) * n_ + 1, 0);
+namespace {
+inline bool admits(const LinkFilter& alive, int a, int b) {
+  return alive == nullptr || alive(a, b);
+}
+}  // namespace
 
-  // Pass 1: BFS per source to fill distances.
-  std::vector<int> dist(n_);
-  for (int s = 0; s < n_; ++s) {
-    std::fill(dist.begin(), dist.end(), -1);
-    std::queue<int> q;
-    dist[s] = 0;
-    q.push(s);
-    while (!q.empty()) {
-      const int u = q.front();
-      q.pop();
-      for (int v : topo.neighbors(u)) {
-        if (dist[v] < 0) {
-          dist[v] = dist[u] + 1;
-          q.push(v);
-        }
+MinimalTable::MinimalTable(const Topology& topo) : n_(topo.num_routers()) {
+  rebuild(topo, nullptr);
+  // The healthy-topology constructor keeps the historical strictness; the
+  // fault layer goes through rebuild()/update_link(), which tolerate
+  // disconnection.
+  D2NET_REQUIRE(unreachable_pairs() == 0, "topology is disconnected");
+}
+
+void MinimalTable::bfs_row(const Topology& topo, const LinkFilter& alive, int s) {
+  const std::size_t row = idx(s, 0);
+  for (int t = 0; t < n_; ++t) dist_[row + static_cast<std::size_t>(t)] = -1;
+  std::queue<int> q;
+  dist_[row + static_cast<std::size_t>(s)] = 0;
+  q.push(s);
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    const std::int16_t du = dist_[row + static_cast<std::size_t>(u)];
+    for (int v : topo.neighbors(u)) {
+      if (dist_[row + static_cast<std::size_t>(v)] < 0 && admits(alive, u, v)) {
+        dist_[row + static_cast<std::size_t>(v)] = static_cast<std::int16_t>(du + 1);
+        q.push(v);
       }
     }
-    for (int t = 0; t < n_; ++t) {
-      D2NET_REQUIRE(dist[t] >= 0, "topology is disconnected");
-      dist_[idx(s, t)] = static_cast<std::int16_t>(dist[t]);
-      if (dist[t] > diameter_) diameter_ = dist[t];
-    }
   }
+}
 
-  // Pass 2: next-hop sets. Neighbor v of a is a next hop toward b iff
-  // dist(v, b) == dist(a, b) - 1.
+void MinimalTable::pack_next_hops(const Topology& topo, const LinkFilter& alive) {
+  // Neighbor v of a is a next hop toward b iff the a->v link is admitted
+  // and dist(v, b) == dist(a, b) - 1. Unreachable pairs get empty sets.
   std::size_t total = 0;
   for (int a = 0; a < n_; ++a) {
     for (int b = 0; b < n_; ++b) {
-      if (a == b) continue;
       const int d = dist_[idx(a, b)];
+      if (a == b || d < 0) continue;
       for (int v : topo.neighbors(a)) {
-        if (dist_[idx(v, b)] == d - 1) ++total;
+        if (admits(alive, a, v) && dist_[idx(v, b)] == d - 1) ++total;
       }
     }
   }
@@ -52,16 +58,69 @@ MinimalTable::MinimalTable(const Topology& topo) : n_(topo.num_routers()) {
   for (int a = 0; a < n_; ++a) {
     for (int b = 0; b < n_; ++b) {
       nh_off_[idx(a, b)] = static_cast<std::uint32_t>(fill);
-      if (a != b) {
-        const int d = dist_[idx(a, b)];
+      const int d = dist_[idx(a, b)];
+      if (a != b && d > 0) {
         for (int v : topo.neighbors(a)) {
-          if (dist_[idx(v, b)] == d - 1) nh_data_[fill++] = v;
+          if (admits(alive, a, v) && dist_[idx(v, b)] == d - 1) nh_data_[fill++] = v;
         }
       }
     }
   }
   nh_off_.back() = static_cast<std::uint32_t>(fill);
   D2NET_ASSERT(fill == total, "next-hop fill mismatch");
+}
+
+void MinimalTable::recompute_diameter() {
+  diameter_ = 0;
+  for (std::int16_t d : dist_) {
+    if (d > diameter_) diameter_ = d;
+  }
+}
+
+void MinimalTable::rebuild(const Topology& topo, const LinkFilter& alive) {
+  D2NET_REQUIRE(topo.num_routers() == n_ || dist_.empty(),
+                "rebuild against a different-sized topology");
+  n_ = topo.num_routers();
+  dist_.assign(static_cast<std::size_t>(n_) * n_, -1);
+  nh_off_.assign(static_cast<std::size_t>(n_) * n_ + 1, 0);
+  for (int s = 0; s < n_; ++s) bfs_row(topo, alive, s);
+  recompute_diameter();
+  pack_next_hops(topo, alive);
+}
+
+void MinimalTable::update_link(const Topology& topo, const LinkFilter& alive, int u, int v) {
+  D2NET_REQUIRE(u >= 0 && u < n_ && v >= 0 && v < n_ && u != v, "update_link endpoints");
+  const bool now_alive = admits(alive, u, v);
+  // A single link change can only move distances for sources where the link
+  // matters: on a cut, sources whose BFS DAG had the link tight
+  // (|d(s,u) - d(s,v)| == 1); on a revival, sources it brings strictly
+  // closer (|d(s,u) - d(s,v)| > 1, unreachable counting as infinity).
+  // Everything else keeps its distances; only the next-hop packing (which
+  // reads the admitted adjacency directly) is redone in full.
+  for (int s = 0; s < n_; ++s) {
+    const int du = dist_[idx(s, u)];
+    const int dv = dist_[idx(s, v)];
+    bool affected;
+    if (du < 0 && dv < 0) {
+      affected = false;  // both already unreachable; a link between them changes nothing
+    } else if (du < 0 || dv < 0) {
+      // One side reachable, one not: a cut cannot cause this retroactively,
+      // a revival bridges the components for this source.
+      affected = now_alive;
+    } else {
+      const int gap = du > dv ? du - dv : dv - du;
+      affected = now_alive ? gap > 1 : gap == 1;
+    }
+    if (affected) bfs_row(topo, alive, s);
+  }
+  recompute_diameter();
+  pack_next_hops(topo, alive);
+}
+
+std::int64_t MinimalTable::unreachable_pairs() const {
+  std::int64_t count = 0;
+  for (std::int16_t d : dist_) count += d < 0 ? 1 : 0;
+  return count;
 }
 
 std::vector<int> MinimalTable::sample_path(int a, int b, Rng& rng) const {

@@ -1,9 +1,16 @@
 // Precomputed minimal (shortest-path) routing structure: for every ordered
 // router pair, the distance and the set of next-hop neighbors that lie on a
 // shortest path. Stored flat for cache friendliness at R^2 scale.
+//
+// For dynamic fault injection the table is rebuildable mid-run: rebuild()
+// and update_link() recompute it against a link-aliveness filter, tolerate
+// a disconnected graph (distance() < 0, empty next_hops()), and
+// update_link() recomputes only the BFS trees a single link change can
+// actually affect (incremental invalidation).
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -13,13 +20,34 @@ namespace d2net {
 
 class Topology;
 
+/// Returns true when the directed adjacency a -> b is currently usable.
+using LinkFilter = std::function<bool(int, int)>;
+
 class MinimalTable {
  public:
+  /// Builds the table for the healthy topology; throws if disconnected.
   explicit MinimalTable(const Topology& topo);
 
   int num_routers() const { return n_; }
+  /// Hops from a to b; negative when b is unreachable from a (only possible
+  /// after a rebuild against a disconnecting link filter).
   int distance(int a, int b) const { return dist_[idx(a, b)]; }
+  /// Longest finite shortest path (unreachable pairs excluded).
   int diameter() const { return diameter_; }
+
+  /// Recomputes the whole table over the links `alive` admits (nullptr =
+  /// all). Unlike the constructor this tolerates disconnection.
+  void rebuild(const Topology& topo, const LinkFilter& alive);
+
+  /// Incremental variant after the single link (u, v) changed state:
+  /// re-runs BFS only from sources whose shortest-path structure the change
+  /// can affect (for a cut: sources for which the link was tight; for a
+  /// revival: sources it brings strictly closer), then repacks the next-hop
+  /// sets. Equivalent to rebuild() (enforced by test).
+  void update_link(const Topology& topo, const LinkFilter& alive, int u, int v);
+
+  /// Ordered router pairs (a != b) with no surviving path.
+  std::int64_t unreachable_pairs() const;
 
   /// Neighbors of `a` that start a shortest path toward `b`; empty iff
   /// a == b.
@@ -45,6 +73,12 @@ class MinimalTable {
   std::size_t idx(int a, int b) const {
     return static_cast<std::size_t>(a) * static_cast<std::size_t>(n_) + b;
   }
+
+  /// BFS from s over the admitted links into dist_ (unreached rows = -1).
+  void bfs_row(const Topology& topo, const LinkFilter& alive, int s);
+  /// Rebuilds nh_off_/nh_data_ from dist_ and the admitted adjacency.
+  void pack_next_hops(const Topology& topo, const LinkFilter& alive);
+  void recompute_diameter();
 
   int n_ = 0;
   int diameter_ = 0;

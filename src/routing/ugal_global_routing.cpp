@@ -27,16 +27,30 @@ std::int64_t UgalGlobalRouting::path_cost(const std::vector<int>& routers) const
 
 Route UgalGlobalRouting::route(int src_router, int dst_router, Rng& rng) const {
   D2NET_REQUIRE(src_router != dst_router, "route() needs distinct routers");
+  if (table_.distance(src_router, dst_router) < 0) {
+    // Destination unreachable on the (fault-degraded) table: an empty route
+    // tells the simulator to drop or retry the packet.
+    return Route{};
+  }
 
   std::vector<int> best_path = table_.sample_path(src_router, dst_router, rng);
   double best_cost = static_cast<double>(path_cost(best_path));
   int best_intermediate_pos = -1;
 
   for (int j = 0; j < num_indirect_; ++j) {
-    int via;
+    // Same RNG stream as before on a healthy table (see UgalRouting).
+    int via = -1;
+    int broken_draws = 0;
     do {
-      via = intermediates_[rng.next_below(intermediates_.size())];
-    } while (via == src_router || via == dst_router);
+      const int cand = intermediates_[rng.next_below(intermediates_.size())];
+      if (cand == src_router || cand == dst_router) continue;
+      if (table_.distance(src_router, cand) < 0 || table_.distance(cand, dst_router) < 0) {
+        if (++broken_draws >= 2 * static_cast<int>(intermediates_.size())) break;
+        continue;
+      }
+      via = cand;
+    } while (via < 0);
+    if (via < 0) continue;
     std::vector<int> candidate = table_.sample_path(src_router, via, rng);
     const int via_pos = static_cast<int>(candidate.size()) - 1;
     const std::vector<int> second = table_.sample_path(via, dst_router, rng);

@@ -23,7 +23,11 @@ Route UgalRouting::route(int src_router, int dst_router, Rng& rng) const {
   // Minimal candidate: among equally short first hops pick the least-loaded
   // output queue (footnote 1 of the paper permits lowest-cost selection).
   const auto nh = table_.next_hops(src_router, dst_router);
-  D2NET_ASSERT(!nh.empty(), "no minimal next hop");
+  if (nh.empty()) {
+    // Destination unreachable on the (fault-degraded) table: an empty route
+    // tells the simulator to drop or retry the packet.
+    return Route{};
+  }
   int min_first = nh[0];
   std::int64_t q_min = loads_.output_queue_bytes(src_router, nh[0]);
   for (std::size_t i = 1; i < nh.size(); ++i) {
@@ -64,10 +68,21 @@ Route UgalRouting::route(int src_router, int dst_router, Rng& rng) const {
   int best_via = -1;
   int best_first = -1;
   for (int j = 0; j < params_.num_indirect; ++j) {
-    int via;
+    // Redraw on src/dst exactly as before (same RNG stream on a healthy
+    // table); intermediates with a broken segment additionally count toward
+    // a bounded budget so a heavily disconnected table cannot spin forever.
+    int via = -1;
+    int broken_draws = 0;
     do {
-      via = intermediates_[rng.next_below(intermediates_.size())];
-    } while (via == src_router || via == dst_router);
+      const int cand = intermediates_[rng.next_below(intermediates_.size())];
+      if (cand == src_router || cand == dst_router) continue;
+      if (table_.distance(src_router, cand) < 0 || table_.distance(cand, dst_router) < 0) {
+        if (++broken_draws >= 2 * static_cast<int>(intermediates_.size())) break;
+        continue;
+      }
+      via = cand;
+    } while (via < 0);
+    if (via < 0) continue;
     const auto first_hops = table_.next_hops(src_router, via);
     D2NET_ASSERT(!first_hops.empty(), "no next hop toward intermediate");
     const int first = first_hops[rng.next_below(first_hops.size())];

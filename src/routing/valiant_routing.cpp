@@ -41,11 +41,33 @@ Route ValiantRouting::make_indirect(const MinimalTable& table, VcPolicy policy, 
 
 Route ValiantRouting::route(int src_router, int dst_router, Rng& rng) const {
   D2NET_REQUIRE(src_router != dst_router, "route() needs distinct routers");
+  if (table_.distance(src_router, dst_router) < 0) {
+    // Destination unreachable on the (fault-degraded) table: an empty route
+    // tells the simulator to drop or retry the packet.
+    return Route{};
+  }
   // Draw an intermediate other than the source and destination routers.
-  int via;
+  // Redraws on src/dst behave exactly as before (same RNG stream on a
+  // healthy table); draws whose segments a fault broke count toward a
+  // bounded budget, falling back to the minimal path when exhausted.
+  int via = -1;
+  int broken_draws = 0;
   do {
-    via = intermediates_[rng.next_below(intermediates_.size())];
-  } while (via == src_router || via == dst_router);
+    const int cand = intermediates_[rng.next_below(intermediates_.size())];
+    if (cand == src_router || cand == dst_router) continue;
+    if (table_.distance(src_router, cand) < 0 || table_.distance(cand, dst_router) < 0) {
+      if (++broken_draws >= 2 * static_cast<int>(intermediates_.size())) break;
+      continue;
+    }
+    via = cand;
+  } while (via < 0);
+  if (via < 0) {
+    Route r;
+    r.routers = table_.sample_path(src_router, dst_router, rng);
+    r.intermediate_pos = -1;
+    assign_vcs(r, policy_);
+    return r;
+  }
   return make_indirect(table_, policy_, src_router, via, dst_router, rng);
 }
 

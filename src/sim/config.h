@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "common/units.h"
+#include "sim/fault.h"
 
 namespace d2net {
 
@@ -41,6 +42,10 @@ struct SimConfig {
   bool cut_through = false;
 
   MetricsConfig metrics;
+
+  /// Dynamic fault injection and the no-progress watchdog (see sim/fault.h
+  /// and docs/resilience.md). Inert with an empty schedule.
+  FaultConfig fault;
 
   /// Time for one packet to cross one link at line rate.
   TimePs packet_serialization() const {

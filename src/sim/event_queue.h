@@ -31,6 +31,14 @@ enum class EventType : std::uint8_t {
   /// Mutates nothing but the metric sinks and is excluded from
   /// events_processed, so enabling metrics cannot perturb a run.
   kMetricsSample,
+  /// a = index into the sorted fault schedule (faults enabled only).
+  kFault,
+  /// a = packet: source re-injection attempt after a fault drop.
+  kRetryInject,
+  /// No-progress check tick. Like kMetricsSample it reads counters only,
+  /// never touches the RNG and is excluded from events_processed, so the
+  /// always-on watchdog cannot perturb a healthy run.
+  kWatchdog,
 };
 
 struct Event {

@@ -32,8 +32,16 @@ SimStack::SimStack(const Topology& topo, std::shared_ptr<const MinimalTable> tab
     : topo_(topo),
       table_(std::move(table)),
       sim_(topo, cfg, num_vcs_needed(topo, checked_table(table_, topo), strategy)) {
-  algo_ = params.has_value() ? make_routing(topo_, *table_, strategy, sim_, *params)
-                             : make_routing(topo_, *table_, strategy, sim_);
+  const MinimalTable* routing_table = table_.get();
+  if (cfg.fault.enabled() && cfg.fault.reroute) {
+    // Fault-aware rerouting mutates the table mid-run; give this stack a
+    // private copy so the shared healthy table stays immutable.
+    fault_table_ = std::make_unique<MinimalTable>(*table_);
+    sim_.set_fault_table(fault_table_.get());
+    routing_table = fault_table_.get();
+  }
+  algo_ = params.has_value() ? make_routing(topo_, *routing_table, strategy, sim_, *params)
+                             : make_routing(topo_, *routing_table, strategy, sim_);
   sim_.set_routing(*algo_);
 }
 

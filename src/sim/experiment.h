@@ -50,6 +50,12 @@ class SimStack {
   std::shared_ptr<const MinimalTable> table_;
   NetworkSim sim_;
   std::unique_ptr<RoutingAlgorithm> algo_;
+  /// Private mutable table copy for fault-aware rerouting: allocated only
+  /// when the config schedules faults with reroute on, so concurrent sweep
+  /// points can keep sharing the immutable healthy table. The routing
+  /// algorithm and the simulator both point at this copy, which the sim
+  /// invalidates incrementally on every fault event.
+  std::unique_ptr<MinimalTable> fault_table_;
 };
 
 /// One row of a Fig. 6-12 style sweep.

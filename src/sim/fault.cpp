@@ -1,0 +1,67 @@
+#include "sim/fault.h"
+
+#include <cstdio>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "topology/topology.h"
+
+namespace d2net {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkDown: return "link-down";
+    case FaultKind::kLinkUp: return "link-up";
+    case FaultKind::kRouterDown: return "router-down";
+    case FaultKind::kRouterUp: return "router-up";
+  }
+  return "?";
+}
+
+const char* to_string(FaultRecovery r) {
+  switch (r) {
+    case FaultRecovery::kNone: return "none";
+    case FaultRecovery::kRetry: return "retry";
+    case FaultRecovery::kSalvage: return "salvage";
+  }
+  return "?";
+}
+
+std::vector<FaultEvent> make_link_burst(const Topology& topo, TimePs at, int count,
+                                        std::uint64_t seed, TimePs restore_after) {
+  D2NET_REQUIRE(topo.finalized(), "topology must be finalized");
+  D2NET_REQUIRE(count >= 0 && count <= topo.num_links(),
+                "burst larger than the link count");
+  std::vector<std::size_t> order(topo.links().size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  Rng rng(seed);
+  rng.shuffle(order);
+
+  std::vector<FaultEvent> out;
+  out.reserve(static_cast<std::size_t>(count) * (restore_after > 0 ? 2 : 1));
+  for (int i = 0; i < count; ++i) {
+    const Link& l = topo.links()[order[static_cast<std::size_t>(i)]];
+    out.push_back({at, FaultKind::kLinkDown, l.r1, l.r2});
+  }
+  if (restore_after > 0) {
+    for (int i = 0; i < count; ++i) {
+      const Link& l = topo.links()[order[static_cast<std::size_t>(i)]];
+      out.push_back({at + restore_after, FaultKind::kLinkUp, l.r1, l.r2});
+    }
+  }
+  return out;
+}
+
+std::string to_string(const FaultEvent& e) {
+  char buf[96];
+  if (e.kind == FaultKind::kLinkDown || e.kind == FaultKind::kLinkUp) {
+    std::snprintf(buf, sizeof buf, "link %d-%d %s @%.1fus", e.a, e.b,
+                  e.kind == FaultKind::kLinkDown ? "down" : "up", to_us(e.time));
+  } else {
+    std::snprintf(buf, sizeof buf, "router %d %s @%.1fus", e.a,
+                  e.kind == FaultKind::kRouterDown ? "down" : "up", to_us(e.time));
+  }
+  return buf;
+}
+
+}  // namespace d2net

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "routing/minimal_table.h"
 #include "sim/traffic.h"
 #include "topology/topology.h"
 
@@ -96,9 +97,14 @@ NetworkSim::NetworkSim(const Topology& topo, const SimConfig& cfg, int num_vcs)
     }
     for (OutPort& op : rs.out_ports) {
       op.credits.resize(op.to_node ? 0 : num_vcs_);
+      op.credits_pending.resize(op.to_node ? 0 : num_vcs_);
     }
   }
-  for (NicState& nic : nics_) nic.credits.resize(num_vcs_);
+  for (NicState& nic : nics_) {
+    nic.credits.resize(num_vcs_);
+    nic.credits_pending.resize(num_vcs_);
+  }
+  router_dead_.assign(routers_.size(), 0);
   queue_.reserve(static_cast<std::size_t>(topo.num_nodes()) * 8);
 
   metrics_enabled_ = cfg_.metrics.enabled;
@@ -127,6 +133,9 @@ void NetworkSim::reset() {
       op.bytes_sent_window = 0;
       op.ready.clear();
       std::fill(op.credits.begin(), op.credits.end(), vc_buffer_bytes_);
+      op.up = true;
+      op.epoch = 0;
+      std::fill(op.credits_pending.begin(), op.credits_pending.end(), std::int64_t{0});
     }
   }
   for (NicState& nic : nics_) {
@@ -135,7 +144,13 @@ void NetworkSim::reset() {
     nic.pending.clear();
     nic.messages.clear();
     nic.cursor = 0;
+    std::fill(nic.credits_pending.begin(), nic.credits_pending.end(), std::int64_t{0});
   }
+  std::fill(router_dead_.begin(), router_dead_.end(), std::uint8_t{0});
+  fstats_ = FaultStats{};
+  wedged_ = false;
+  progress_ = 0;
+  watch_last_ = 0;
   pool_.recycle_all();
   queue_.clear();
   now_ = 0;
@@ -235,8 +250,19 @@ bool NetworkSim::start_injection(int node, int dst, int size, TimePs gen_time,
     route.intermediate_pos = -1;
   } else {
     routing_->route_into(src_router, dst_router, rng_, route);
+    if (faults_enabled_ && route.routers.empty()) {
+      // Destination currently unreachable: the NIC head-of-line blocks and
+      // keeps retrying (next tick / credit return) until the network heals
+      // or the watchdog declares the run wedged.
+      pool_.release(pkt_id);
+      return false;
+    }
   }
-  const int vc0 = route.vcs.empty() ? 0 : route.vcs.front();
+  int vc0 = route.vcs.empty() ? 0 : route.vcs.front();
+  // Fault-degraded paths can be longer than the healthy provisioning
+  // assumed; collapse overflow onto the top VC (watchdog guards the
+  // resulting deadlock risk).
+  if (faults_enabled_ && vc0 >= num_vcs_) vc0 = num_vcs_ - 1;
   if (nic.credits[vc0] < size) {
     pool_.release(pkt_id);
     if (metrics_enabled_) ctr_injection_stalls_->add();
@@ -250,6 +276,8 @@ bool NetworkSim::start_injection(int node, int dst, int size, TimePs gen_time,
   pkt.inject_time = now;
   pkt.hop = 0;
   pkt.msg_id = msg_id;
+  pkt.retries = 0;
+  pkt.link_epoch = 0;
 
   nic.credits[vc0] -= size;
   const TimePs ser = static_cast<TimePs>(size) * cfg_.ps_per_byte;
@@ -261,6 +289,7 @@ bool NetworkSim::start_injection(int node, int dst, int size, TimePs gen_time,
   const TimePs arrival_ser = cfg_.cut_through ? 0 : ser;
   queue_.push(now + arrival_ser + cfg_.link_latency, EventType::kArriveRouter, pkt_id,
               src_router, nic.in_port, vc0);
+  ++progress_;
   ++packets_injected_;
   if (pkt.route.minimal()) ++packets_minimal_;
   ++(gen_time < window_start_ ? phases_.injected_warmup : phases_.injected_measured);
@@ -304,10 +333,39 @@ void NetworkSim::try_inject(int node, TimePs now) {
 void NetworkSim::handle_arrive_router(int pkt_id, int router, int in_port, int vc,
                                       TimePs now) {
   RouterState& rs = routers_[router];
+  if (faults_enabled_) {
+    const InPort& ipc = rs.in_ports[in_port];
+    bool destroyed = router_dead_[router] != 0;
+    if (!destroyed && !ipc.from_node) {
+      const OutPort& sender = routers_[ipc.peer_router].out_ports[ipc.peer_out_port];
+      destroyed = !sender.up || router_dead_[ipc.peer_router] != 0 ||
+                  pool_[pkt_id].link_epoch != sender.epoch;
+    }
+    if (destroyed) {
+      // The wire was cut (or a router died) while the packet was in
+      // flight: it never lands in the input buffer and no credit moves;
+      // the sender's lost credits are recreated by the link-up resync.
+      drop_packet(pkt_id, now);
+      return;
+    }
+  }
   InVc& q = rs.in_ports[in_port].vcs[vc];
-  const Packet& pkt = pool_[pkt_id];
-  const int out_idx = out_port_for_packet(router, pkt);
-  rs.out_ports[out_idx].queued_bytes += pkt.size;
+  int out_idx = out_port_for_packet(router, pool_[pkt_id]);
+  if (faults_enabled_ && out_port_dead(router, out_idx)) {
+    // Arrived intact but the planned next link is gone: salvage onto the
+    // rebuilt table, or free the buffer (credit upstream) and drop/retry.
+    Packet& pkt = pool_[pkt_id];
+    if (salvage_route(pkt, router)) {
+      ++fstats_.reroutes;
+      out_idx = out_port_for_packet(router, pkt);
+    } else {
+      return_input_credit(router, in_port, vc, pkt.size, now);
+      drop_packet(pkt_id, now);
+      return;
+    }
+  }
+  const int size = pool_[pkt_id].size;
+  rs.out_ports[out_idx].queued_bytes += size;
   q.voq[out_idx].push_back({pkt_id, now + cfg_.router_latency});
   if (q.voq[out_idx].size() == 1) {
     queue_.push(now + cfg_.router_latency, EventType::kHeadEligible, router, in_port, vc,
@@ -338,6 +396,7 @@ void NetworkSim::try_grant(int router, int out_idx, TimePs now) {
   RouterState& rs = routers_[router];
   OutPort& out = rs.out_ports[out_idx];
   if (out.free_at > now) return;  // kChannelFree retries
+  if (faults_enabled_ && out_port_dead(router, out_idx)) return;  // link-up kicks again
 
   bool credit_blocked = false;
   for (std::size_t i = 0; i < out.ready.size(); ++i) {
@@ -350,6 +409,7 @@ void NetworkSim::try_grant(int router, int out_idx, TimePs now) {
     int vc_next = 0;
     if (!out.to_node) {
       vc_next = pkt.vc_at_hop();
+      if (faults_enabled_ && vc_next >= num_vcs_) vc_next = num_vcs_ - 1;
       if (out.credits[vc_next] < pkt.size) {  // blocked on credit
         credit_blocked = true;
         if (metrics_enabled_) ctr_credit_skips_->add();
@@ -388,14 +448,7 @@ void NetworkSim::try_grant(int router, int out_idx, TimePs now) {
     }
 
     // Return the freed input-buffer credit upstream.
-    const InPort& ip = rs.in_ports[entry.in_port];
-    if (ip.from_node) {
-      queue_.push(now + cfg_.link_latency, EventType::kCreditToNic, ip.peer_node, 0, entry.vc,
-                  pkt.size);
-    } else {
-      queue_.push(now + cfg_.link_latency, EventType::kCreditToRouter, ip.peer_router,
-                  ip.peer_out_port, entry.vc, pkt.size);
-    }
+    return_input_credit(router, entry.in_port, entry.vc, pkt.size, now);
 
     if (out.to_node) {
       // Delivery completes when the tail reaches the NIC, regardless of
@@ -404,11 +457,13 @@ void NetworkSim::try_grant(int router, int out_idx, TimePs now) {
                   out.peer_node);
     } else {
       out.credits[vc_next] -= pkt.size;
+      if (faults_enabled_) pkt.link_epoch = out.epoch;
       pkt.hop += 1;
       const TimePs arrival_ser = cfg_.cut_through ? 0 : ser;
       queue_.push(now + arrival_ser + cfg_.link_latency, EventType::kArriveRouter, pkt_id,
                   out.peer_router, out.peer_in_port, vc_next);
     }
+    ++progress_;
 
     // Wake the new head of the drained FIFO, if any.
     if (!fifo.empty()) {
@@ -455,6 +510,14 @@ void NetworkSim::handle_arrive_node(int pkt_id, TimePs now) {
     exchange_remaining_ -= pkt.size;
     if (exchange_remaining_ == 0) exchange_completion_ = now;
   }
+  if (cfg_.fault.recovery_sample > 0) {
+    const auto bucket = static_cast<std::size_t>(now / cfg_.fault.recovery_sample);
+    if (bucket >= fstats_.delivered_bytes_buckets.size()) {
+      fstats_.delivered_bytes_buckets.resize(bucket + 1, 0);
+    }
+    fstats_.delivered_bytes_buckets[bucket] += pkt.size;
+  }
+  ++progress_;
   pool_.release(pkt_id);
 }
 
@@ -486,16 +549,31 @@ void NetworkSim::dispatch(const Event& e) {
       break;
     case EventType::kCreditToRouter:
       routers_[e.a].out_ports[e.b].credits[e.c] += e.d;
+      if (faults_enabled_) {
+        routers_[e.a].out_ports[e.b].credits_pending[e.c] -= e.d;
+        ++progress_;
+      }
       try_grant(e.a, e.b, e.time);
       break;
     case EventType::kCreditToNic:
       nics_[e.a].credits[e.c] += e.d;
+      if (faults_enabled_) {
+        nics_[e.a].credits_pending[e.c] -= e.d;
+        ++progress_;
+      }
       try_inject(e.a, e.time);
       break;
     case EventType::kArriveNode:
       handle_arrive_node(e.a, e.time);
       break;
+    case EventType::kFault:
+      apply_fault(cfg_.fault.schedule[static_cast<std::size_t>(e.a)], e.time);
+      break;
+    case EventType::kRetryInject:
+      handle_retry(e.a, e.time);
+      break;
     case EventType::kMetricsSample:
+    case EventType::kWatchdog:
       // Handled in run_until (excluded from events_processed).
       break;
   }
@@ -519,10 +597,372 @@ void NetworkSim::handle_metrics_sample(TimePs now) {
   if (next <= window_end_) queue_.push(next, EventType::kMetricsSample);
 }
 
+// --- fault machinery (inert with an empty schedule) ---
+
+bool NetworkSim::out_port_dead(int router, int out_idx) const {
+  if (router_dead_[router]) return true;
+  const OutPort& op = routers_[router].out_ports[out_idx];
+  if (op.to_node) return false;
+  return !op.up || router_dead_[op.peer_router] != 0;
+}
+
+bool NetworkSim::link_admitted(int a, int b) const {
+  if (router_dead_[a] || router_dead_[b]) return false;
+  return routers_[a].out_ports[out_port_toward(a, b)].up;
+}
+
+void NetworkSim::refresh_fault_table(int u, int v) {
+  if (!cfg_.fault.reroute || fault_table_ == nullptr) return;
+  const LinkFilter alive = [this](int a, int b) { return link_admitted(a, b); };
+  if (u >= 0) {
+    fault_table_->update_link(topo_, alive, u, v);
+  } else {
+    fault_table_->rebuild(topo_, alive);
+  }
+  fstats_.unreachable_pairs =
+      std::max(fstats_.unreachable_pairs, fault_table_->unreachable_pairs());
+}
+
+bool NetworkSim::salvage_route(Packet& pkt, int router) {
+  if (cfg_.fault.recovery != FaultRecovery::kSalvage || fault_table_ == nullptr) {
+    return false;
+  }
+  const int dst_router = topo_.router_of_node(pkt.dst_node);
+  D2NET_ASSERT(router != dst_router, "salvage at the destination router");
+  const int dist = fault_table_->distance(router, dst_router);
+  if (dist < 0) return false;                            // disconnected
+  if (pkt.hop + dist > hop_limit_) return false;         // livelock guard
+  // Keep the traversed prefix, replace the tail with a fresh shortest path
+  // over the surviving links. VCs continue hop-indexed, collapsed onto the
+  // top VC once the stretched path exceeds the healthy provisioning.
+  Route& route = pkt.route;
+  D2NET_ASSERT(route.routers[static_cast<std::size_t>(pkt.hop)] == router,
+               "salvage at a router the packet does not occupy");
+  route.routers.resize(static_cast<std::size_t>(pkt.hop) + 1);
+  fault_table_->sample_path_into(router, dst_router, rng_, salvage_scratch_);
+  route.routers.insert(route.routers.end(), salvage_scratch_.begin() + 1,
+                       salvage_scratch_.end());
+  if (route.intermediate_pos > pkt.hop) route.intermediate_pos = pkt.hop;
+  const int hops = route.hops();
+  route.vcs.resize(static_cast<std::size_t>(hops));
+  for (int i = pkt.hop; i < hops; ++i) {
+    route.vcs[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(std::min(i, num_vcs_ - 1));
+  }
+  return true;
+}
+
+void NetworkSim::return_input_credit(int router, int in_port, int vc, int bytes,
+                                     TimePs now) {
+  const InPort& ip = routers_[router].in_ports[in_port];
+  if (ip.from_node) {
+    if (faults_enabled_) {
+      if (router_dead_[router]) return;  // the injection wire died with the router
+      nics_[ip.peer_node].credits_pending[vc] += bytes;
+    }
+    queue_.push(now + cfg_.link_latency, EventType::kCreditToNic, ip.peer_node, 0, vc,
+                bytes);
+  } else {
+    if (faults_enabled_) {
+      const OutPort& peer = routers_[ip.peer_router].out_ports[ip.peer_out_port];
+      // A cut reverse wire carries no credit; the link-up resync recreates it.
+      if (!peer.up || router_dead_[ip.peer_router] || router_dead_[router]) return;
+      routers_[ip.peer_router].out_ports[ip.peer_out_port].credits_pending[vc] += bytes;
+    }
+    queue_.push(now + cfg_.link_latency, EventType::kCreditToRouter, ip.peer_router,
+                ip.peer_out_port, vc, bytes);
+  }
+}
+
+void NetworkSim::drop_packet(int pkt_id, TimePs now) {
+  ++fstats_.packets_dropped;
+  Packet& pkt = pool_[pkt_id];
+  if (cfg_.fault.recovery != FaultRecovery::kNone && pkt.retries < cfg_.fault.max_retries) {
+    const TimePs backoff = cfg_.fault.retry_backoff * (TimePs{1} << pkt.retries);
+    ++pkt.retries;
+    queue_.push(now + backoff, EventType::kRetryInject, pkt_id);
+  } else {
+    ++fstats_.packets_lost;
+    pool_.release(pkt_id);
+  }
+}
+
+void NetworkSim::handle_retry(int pkt_id, TimePs now) {
+  ++progress_;
+  Packet& pkt = pool_[pkt_id];
+  NicState& nic = nics_[pkt.src_node];
+  const int src_router = nic.router;
+  const int dst_router = topo_.router_of_node(pkt.dst_node);
+  bool ok = nic.free_at <= now && !router_dead_[src_router];
+  int vc0 = 0;
+  if (ok) {
+    if (dst_router == src_router) {
+      pkt.route.routers.assign(1, src_router);
+      pkt.route.vcs.clear();
+      pkt.route.intermediate_pos = -1;
+    } else {
+      routing_->route_into(src_router, dst_router, rng_, pkt.route);
+      ok = !pkt.route.routers.empty();
+    }
+    if (ok) {
+      vc0 = pkt.route.vcs.empty() ? 0 : pkt.route.vcs.front();
+      if (vc0 >= num_vcs_) vc0 = num_vcs_ - 1;
+      ok = nic.credits[vc0] >= pkt.size;
+    }
+  }
+  if (!ok) {
+    // NIC busy, destination unreachable, or no credit: burn one attempt and
+    // back off again, or give the packet up for good.
+    if (pkt.retries < cfg_.fault.max_retries) {
+      const TimePs backoff = cfg_.fault.retry_backoff * (TimePs{1} << pkt.retries);
+      ++pkt.retries;
+      queue_.push(now + backoff, EventType::kRetryInject, pkt_id);
+    } else {
+      ++fstats_.packets_lost;
+      pool_.release(pkt_id);
+    }
+    return;
+  }
+  pkt.hop = 0;
+  pkt.inject_time = now;
+  pkt.link_epoch = 0;
+  nic.credits[vc0] -= pkt.size;
+  const TimePs ser = static_cast<TimePs>(pkt.size) * cfg_.ps_per_byte;
+  nic.free_at = now + ser;
+  queue_.push(nic.free_at, EventType::kNicFree, pkt.src_node);
+  const TimePs arrival_ser = cfg_.cut_through ? 0 : ser;
+  queue_.push(now + arrival_ser + cfg_.link_latency, EventType::kArriveRouter, pkt_id,
+              src_router, nic.in_port, vc0);
+  ++fstats_.packets_retried;
+}
+
+void NetworkSim::drain_out_port(int router, int out_idx, TimePs now, bool credit_returns,
+                                bool allow_salvage) {
+  RouterState& rs = routers_[router];
+  OutPort& op = rs.out_ports[out_idx];
+  for (std::size_t ipx = 0; ipx < rs.in_ports.size(); ++ipx) {
+    InPort& ip = rs.in_ports[ipx];
+    for (int vc = 0; vc < num_vcs_; ++vc) {
+      InVc& q = ip.vcs[vc];
+      auto& fifo = q.voq[out_idx];
+      while (!fifo.empty()) {
+        const int pkt_id = fifo.front().pkt;
+        fifo.pop_front();
+        Packet& pkt = pool_[pkt_id];
+        if (allow_salvage && salvage_route(pkt, router)) {
+          // The packet stays in its input buffer, re-queued for the out
+          // port of its fresh route after a re-decision latency.
+          const int new_out = out_port_for_packet(router, pkt);
+          D2NET_ASSERT(new_out != out_idx, "salvage re-chose the dead port");
+          ++fstats_.reroutes;
+          auto& fresh = q.voq[new_out];
+          rs.out_ports[new_out].queued_bytes += pkt.size;
+          fresh.push_back({pkt_id, now + cfg_.router_latency});
+          if (fresh.size() == 1) {
+            queue_.push(now + cfg_.router_latency, EventType::kHeadEligible, router,
+                        static_cast<int>(ipx), vc, new_out);
+          }
+        } else {
+          if (credit_returns) {
+            return_input_credit(router, static_cast<int>(ipx), vc, pkt.size, now);
+          }
+          drop_packet(pkt_id, now);
+        }
+      }
+      q.in_ready[out_idx] = 0;
+    }
+  }
+  op.ready.clear();
+  op.queued_bytes = 0;
+}
+
+void NetworkSim::resync_link_credits(int u, int v) {
+  OutPort& op = routers_[u].out_ports[out_port_toward(u, v)];
+  const InPort& ip = routers_[v].in_ports[op.peer_in_port];
+  for (int vc = 0; vc < num_vcs_; ++vc) {
+    std::int64_t occupied = 0;
+    for (const auto& fifo : ip.vcs[vc].voq) {
+      for (const QueuedPkt& qp : fifo) occupied += pool_[qp.pkt].size;
+    }
+    op.credits[vc] = vc_buffer_bytes_ - occupied - op.credits_pending[vc];
+  }
+}
+
+void NetworkSim::resync_nic_credits(int node) {
+  NicState& nic = nics_[node];
+  const InPort& ip = routers_[nic.router].in_ports[nic.in_port];
+  for (int vc = 0; vc < num_vcs_; ++vc) {
+    std::int64_t occupied = 0;
+    for (const auto& fifo : ip.vcs[vc].voq) {
+      for (const QueuedPkt& qp : fifo) occupied += pool_[qp.pkt].size;
+    }
+    nic.credits[vc] = vc_buffer_bytes_ - occupied - nic.credits_pending[vc];
+  }
+}
+
+void NetworkSim::apply_fault(const FaultEvent& f, TimePs now) {
+  switch (f.kind) {
+    case FaultKind::kLinkDown: {
+      D2NET_REQUIRE(f.a >= 0 && f.a < topo_.num_routers() && f.b >= 0 &&
+                        f.b < topo_.num_routers(),
+                    "link fault endpoint out of range");
+      const int pu = out_port_toward(f.a, f.b);  // asserts adjacency
+      const int pv = out_port_toward(f.b, f.a);
+      OutPort& uv = routers_[f.a].out_ports[pu];
+      OutPort& vu = routers_[f.b].out_ports[pv];
+      if (!uv.up) return;  // idempotent
+      ++fstats_.faults_applied;
+      ++progress_;
+      uv.up = vu.up = false;
+      ++uv.epoch;  // destroys both directions' in-flight traffic
+      ++vu.epoch;
+      refresh_fault_table(f.a, f.b);  // before draining, so salvage avoids the cut
+      drain_out_port(f.a, pu, now, /*credit_returns=*/true, /*allow_salvage=*/true);
+      drain_out_port(f.b, pv, now, /*credit_returns=*/true, /*allow_salvage=*/true);
+      break;
+    }
+    case FaultKind::kLinkUp: {
+      D2NET_REQUIRE(f.a >= 0 && f.a < topo_.num_routers() && f.b >= 0 &&
+                        f.b < topo_.num_routers(),
+                    "link fault endpoint out of range");
+      const int pu = out_port_toward(f.a, f.b);
+      const int pv = out_port_toward(f.b, f.a);
+      OutPort& uv = routers_[f.a].out_ports[pu];
+      OutPort& vu = routers_[f.b].out_ports[pv];
+      if (uv.up) return;
+      ++fstats_.faults_applied;
+      ++progress_;
+      uv.up = vu.up = true;
+      if (!router_dead_[f.a] && !router_dead_[f.b]) {
+        resync_link_credits(f.a, f.b);
+        resync_link_credits(f.b, f.a);
+      }
+      refresh_fault_table(f.a, f.b);
+      try_grant(f.a, pu, now);
+      try_grant(f.b, pv, now);
+      break;
+    }
+    case FaultKind::kRouterDown: {
+      const int r = f.a;
+      D2NET_REQUIRE(r >= 0 && r < topo_.num_routers(), "router fault out of range");
+      if (router_dead_[r]) return;
+      ++fstats_.faults_applied;
+      ++progress_;
+      router_dead_[r] = 1;
+      RouterState& rs = routers_[r];
+      const auto& nbrs = topo_.neighbors(r);
+      for (int i = 0; i < static_cast<int>(nbrs.size()); ++i) {
+        ++rs.out_ports[i].epoch;  // wires die in both directions
+        ++routers_[nbrs[i]].out_ports[out_port_toward(nbrs[i], r)].epoch;
+      }
+      refresh_fault_table(-1, -1);
+      // Everything queued inside the dead router dies with it; no credits
+      // move (the upstream side resyncs when the router comes back).
+      for (int o = 0; o < static_cast<int>(rs.out_ports.size()); ++o) {
+        drain_out_port(r, o, now, /*credit_returns=*/false, /*allow_salvage=*/false);
+      }
+      // Neighbors salvage or drop what they had queued toward r.
+      for (int n : nbrs) {
+        drain_out_port(n, out_port_toward(n, r), now, /*credit_returns=*/true,
+                       /*allow_salvage=*/true);
+      }
+      break;
+    }
+    case FaultKind::kRouterUp: {
+      const int r = f.a;
+      D2NET_REQUIRE(r >= 0 && r < topo_.num_routers(), "router fault out of range");
+      if (!router_dead_[r]) return;
+      ++fstats_.faults_applied;
+      ++progress_;
+      router_dead_[r] = 0;
+      refresh_fault_table(-1, -1);
+      const auto& nbrs = topo_.neighbors(r);
+      for (int i = 0; i < static_cast<int>(nbrs.size()); ++i) {
+        const int n = nbrs[i];
+        if (!routers_[r].out_ports[i].up || router_dead_[n]) continue;
+        resync_link_credits(r, n);
+        resync_link_credits(n, r);
+        try_grant(r, i, now);
+        try_grant(n, out_port_toward(n, r), now);
+      }
+      for (int j = 0; j < topo_.endpoints_of(r); ++j) {
+        const int node = topo_.node_base(r) + j;
+        resync_nic_credits(node);
+        try_inject(node, now);
+      }
+      break;
+    }
+  }
+}
+
+bool NetworkSim::outstanding_work() const {
+  if (exchange_mode_) return exchange_remaining_ > 0;
+  if (pool_.in_use() > 0) return true;
+  for (const NicState& nic : nics_) {
+    if (!nic.pending.empty()) return true;
+  }
+  return false;
+}
+
+void NetworkSim::handle_watchdog(TimePs now) {
+  if (progress_ == watch_last_ && outstanding_work()) {
+    // Nothing moved for a whole interval with work outstanding: declare the
+    // run wedged, snapshot the stuck state and let run_until() exit.
+    wedged_ = true;
+    fstats_.wedged = true;
+    WatchdogSnapshot& s = fstats_.watchdog;
+    s.time = now;
+    s.in_flight = static_cast<std::int64_t>(pool_.in_use());
+    s.nic_backlog = 0;
+    for (const NicState& nic : nics_) {
+      s.nic_backlog += static_cast<std::int64_t>(nic.pending.size() + nic.messages.size());
+    }
+    s.stalled_heads = 0;
+    s.zero_credit_vcs = 0;
+    for (const RouterState& rs : routers_) {
+      for (const OutPort& op : rs.out_ports) {
+        s.stalled_heads += static_cast<int>(op.ready.size());
+        for (std::int64_t c : op.credits) {
+          if (c < cfg_.packet_bytes) ++s.zero_credit_vcs;
+        }
+      }
+    }
+    return;
+  }
+  watch_last_ = progress_;
+  queue_.push(now + cfg_.fault.watchdog_interval, EventType::kWatchdog);
+}
+
+void NetworkSim::setup_faults() {
+  faults_enabled_ = cfg_.fault.enabled();
+  fstats_.enabled = faults_enabled_;
+  fstats_.bucket_width = cfg_.fault.recovery_sample;
+  hop_limit_ = cfg_.fault.hop_limit;
+  if (hop_limit_ <= 0 && fault_table_ != nullptr) {
+    hop_limit_ = 4 * fault_table_->diameter() + 4;
+  }
+  if (faults_enabled_ && fault_table_ != nullptr && cfg_.fault.reroute) {
+    // Start from the healthy table regardless of what a previous faulted
+    // run on this instance left behind.
+    fault_table_->rebuild(topo_, nullptr);
+  }
+  if (faults_enabled_) {
+    for (std::size_t i = 0; i < cfg_.fault.schedule.size(); ++i) {
+      D2NET_REQUIRE(cfg_.fault.schedule[i].time >= 0, "fault times must be non-negative");
+      queue_.push(cfg_.fault.schedule[i].time, EventType::kFault,
+                  static_cast<std::int32_t>(i));
+    }
+  }
+  if (cfg_.fault.watchdog_interval > 0) {
+    queue_.push(cfg_.fault.watchdog_interval, EventType::kWatchdog);
+  }
+}
+
 void NetworkSim::run_until(TimePs end) {
   while (!queue_.empty()) {
     if (queue_.next_time() > end) break;
     if (exchange_mode_ && exchange_remaining_ == 0) break;
+    if (wedged_) break;
     const Event e = queue_.pop();
     now_ = e.time;
     if (e.type == EventType::kMetricsSample) {
@@ -530,6 +970,12 @@ void NetworkSim::run_until(TimePs end) {
       // and the events_processed count so enabled and disabled runs report
       // identical engine statistics.
       handle_metrics_sample(e.time);
+      continue;
+    }
+    if (e.type == EventType::kWatchdog) {
+      // Same discipline: the check reads one counter, so the always-on
+      // watchdog cannot perturb a healthy run either.
+      handle_watchdog(e.time);
       continue;
     }
     dispatch(e);
@@ -586,6 +1032,7 @@ OpenLoopResult NetworkSim::run_open_loop(const TrafficPattern& pattern, double l
   if (metrics_enabled_) {
     queue_.push(cfg_.metrics.sample_period, EventType::kMetricsSample);
   }
+  setup_faults();
   run_until(duration);
   phases_.in_flight_at_end = static_cast<std::int64_t>(pool_.in_use());
 
@@ -617,6 +1064,7 @@ OpenLoopResult NetworkSim::run_open_loop(const TrafficPattern& pattern, double l
       sum_sq > 0.0 ? sum * sum / (static_cast<double>(ejected_per_node_.size()) * sum_sq)
                    : 0.0;
   res.phases = phases_;
+  res.faults = fstats_;
   res.metrics = build_metrics();
   return res;
 }
@@ -642,11 +1090,13 @@ ExchangeResult NetworkSim::run_exchange(const ExchangePlan& plan, TimePs time_li
   if (metrics_enabled_) {
     queue_.push(cfg_.metrics.sample_period, EventType::kMetricsSample);
   }
+  setup_faults();
   run_until(time_limit);
   phases_.in_flight_at_end = static_cast<std::int64_t>(pool_.in_use());
 
   ExchangeResult res;
   res.total_bytes = plan.total_bytes();
+  res.delivered_bytes = res.total_bytes - exchange_remaining_;
   res.completed = exchange_completion_ >= 0;
   if (res.completed) {
     res.completion_us = to_us(exchange_completion_);
@@ -657,6 +1107,7 @@ ExchangeResult NetworkSim::run_exchange(const ExchangePlan& plan, TimePs time_li
     res.effective_throughput = per_node_bytes / line_bytes;
   }
   res.avg_latency_ns = latency_ns_.mean();
+  res.faults = fstats_;
   res.metrics = build_metrics();
   return res;
 }

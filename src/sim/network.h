@@ -39,6 +39,7 @@ namespace d2net {
 
 class Topology;
 class TrafficPattern;
+class MinimalTable;
 
 /// Result of one open-loop synthetic-traffic run at a fixed offered load.
 struct OpenLoopResult {
@@ -62,6 +63,8 @@ struct OpenLoopResult {
   double jain_fairness = 0.0;
   /// Warmup / measurement / drain packet accounting; always populated.
   RunPhaseBreakdown phases;
+  /// Fault-injection accounting (faults.enabled false for healthy runs).
+  FaultStats faults;
   /// Per-port/VC detail; non-null only with SimConfig::metrics.enabled.
   std::shared_ptr<const SimMetrics> metrics;
 };
@@ -92,10 +95,15 @@ struct ExchangeResult {
   bool completed = false;
   double completion_us = 0.0;
   std::int64_t total_bytes = 0;
+  /// Bytes actually delivered; equals total_bytes iff completed. A run cut
+  /// short by the time limit or the watchdog reports its partial progress.
+  std::int64_t delivered_bytes = 0;
   /// Delivered bytes per active node over completion time, as a fraction of
   /// the line rate — the paper's "effective throughput" (Figs. 13, 14).
   double effective_throughput = 0.0;
   double avg_latency_ns = 0.0;  ///< mean in-network packet latency
+  /// Fault-injection accounting (faults.enabled false for healthy runs).
+  FaultStats faults;
   /// Per-port/VC detail; non-null only with SimConfig::metrics.enabled.
   std::shared_ptr<const SimMetrics> metrics;
 };
@@ -115,6 +123,15 @@ class NetworkSim final : public PortLoadProvider {
   /// Attaches an optional per-packet trace sink (nullptr detaches); the
   /// sink must outlive the runs it observes.
   void set_trace(PacketTraceSink* sink) { trace_ = sink; }
+
+  /// Attaches a private, mutable minimal table for fault-aware rerouting
+  /// (nullptr detaches). The sim rebuilds it healthy at run start and
+  /// incrementally invalidates it on every fault event; the attached
+  /// routing algorithm should be constructed over this same table so
+  /// post-fault injections avoid dead links. Must outlive the runs. Without
+  /// it (or with FaultConfig::reroute off) routing stays static and packets
+  /// aimed at dead links are dropped on arrival.
+  void set_fault_table(MinimalTable* table) { fault_table_ = table; }
 
   /// Synthetic open-loop run: Poisson generation at `load` (fraction of
   /// line rate) per node, simulated for `duration`. Throughput counts all
@@ -187,6 +204,13 @@ class NetworkSim final : public PortLoadProvider {
     std::int64_t queued_bytes = 0;      ///< UGAL occupancy: waiting at this router
     std::int64_t bytes_sent_window = 0; ///< forwarded bytes inside the window
     std::deque<ReadyEntry> ready;
+    // Fault state (only read when the schedule is non-empty):
+    bool up = true;            ///< link-level liveness of this direction
+    std::uint32_t epoch = 0;   ///< bumped per cut; mismatched packets died on the wire
+    /// Per-VC bytes of credit currently in flight toward this port; lets a
+    /// link-up resync recompute credits without double-counting returns
+    /// that were already on the (intact) reverse wire.
+    std::vector<std::int64_t> credits_pending;
   };
   struct RouterState {
     std::vector<InPort> in_ports;    ///< [0, deg): network; then injection
@@ -201,6 +225,7 @@ class NetworkSim final : public PortLoadProvider {
     std::size_t cursor = 0;
     int router = -1;
     int in_port = -1;
+    std::vector<std::int64_t> credits_pending;  ///< see OutPort::credits_pending
   };
 
   // --- helpers ---
@@ -215,6 +240,38 @@ class NetworkSim final : public PortLoadProvider {
   void handle_metrics_sample(TimePs now);
   void dispatch(const Event& e);
   void run_until(TimePs end);
+
+  // --- fault machinery (see sim/fault.h; inert with an empty schedule) ---
+  /// Per-run fault/watchdog setup: resets counters, seeds kFault/kWatchdog
+  /// events, rebuilds the attached fault table healthy.
+  void setup_faults();
+  /// True when `out_idx` of `router` cannot currently send.
+  bool out_port_dead(int router, int out_idx) const;
+  /// The link-aliveness predicate fed to MinimalTable rebuilds.
+  bool link_admitted(int a, int b) const;
+  void apply_fault(const FaultEvent& f, TimePs now);
+  /// Refreshes the fault table after the link (u, v) changed (u < 0 = full
+  /// rebuild, used by router events) and tracks peak disconnection.
+  void refresh_fault_table(int u, int v);
+  /// Empties every VOQ feeding `out_idx`, salvaging or dropping the
+  /// stranded packets. `credit_returns` off when the router itself died.
+  void drain_out_port(int router, int out_idx, TimePs now, bool credit_returns,
+                      bool allow_salvage);
+  /// Recomputes credits for direction u -> v from the peer's actual buffer
+  /// occupancy minus credit returns still in flight.
+  void resync_link_credits(int u, int v);
+  void resync_nic_credits(int node);
+  /// Rewrites pkt's route tail with a fresh path from `router`; false when
+  /// salvage is unavailable (no table / unreachable / hop limit).
+  bool salvage_route(Packet& pkt, int router);
+  /// Returns the freed input-buffer credit upstream (skipped when the
+  /// upstream side is dead; its credits resync on revival).
+  void return_input_credit(int router, int in_port, int vc, int bytes, TimePs now);
+  /// Drop accounting + retry-with-backoff or permanent loss.
+  void drop_packet(int pkt_id, TimePs now);
+  void handle_retry(int pkt_id, TimePs now);
+  void handle_watchdog(TimePs now);
+  bool outstanding_work() const;
 
   /// Finalizes the per-run SimMetrics block (nullptr when disabled).
   std::shared_ptr<const SimMetrics> build_metrics();
@@ -253,6 +310,21 @@ class NetworkSim final : public PortLoadProvider {
   MessageOrder plan_order_ = MessageOrder::kSequential;
   std::int64_t exchange_remaining_ = 0;
   TimePs exchange_completion_ = -1;
+
+  // fault / watchdog state (all counters; the hot path only ever tests
+  // faults_enabled_ when the schedule is empty)
+  bool faults_enabled_ = false;
+  MinimalTable* fault_table_ = nullptr;  ///< non-owning, see set_fault_table
+  std::vector<std::uint8_t> router_dead_;
+  FaultStats fstats_;
+  int hop_limit_ = 0;  ///< effective per-run value (config 0 = auto)
+  bool wedged_ = false;
+  /// Monotone activity counter (injections, grants, credit arrivals,
+  /// deliveries, retries, fault applications); the watchdog fires when it
+  /// stops moving while work is outstanding.
+  std::uint64_t progress_ = 0;
+  std::uint64_t watch_last_ = 0;
+  std::vector<int> salvage_scratch_;  ///< path buffer reused across salvages
 
   // statistics
   std::int64_t ejected_bytes_window_ = 0;

@@ -20,6 +20,11 @@ struct Packet {
   Route route;
   int hop = 0;  ///< index of the router the packet currently occupies
   std::int64_t msg_id = -1;  ///< exchange-workload message id, -1 for synthetic
+  int retries = 0;  ///< fault-retry attempts consumed (see FaultConfig)
+  /// Epoch of the sending out-port at grant time; a link fault bumps the
+  /// port epoch, so a mismatch on arrival means the wire died under the
+  /// packet and it must be destroyed (fault runs only).
+  std::uint32_t link_epoch = 0;
 
   /// Next-hop VC used when traversing `hop -> hop + 1`.
   int vc_at_hop() const { return route.vcs.empty() ? 0 : route.vcs[hop]; }

@@ -1,6 +1,8 @@
 #include "sim/sweep_runner.h"
 
 #include <chrono>
+#include <sstream>
+#include <stdexcept>
 #include <unordered_map>
 
 #include "common/error.h"
@@ -66,14 +68,24 @@ std::vector<std::vector<SweepPoint>> SweepRunner::run(
   auto run_point = [&](std::size_t i) {
     const SweepSeriesSpec& spec = specs[points[i].series];
     const double load = spec.loads[points[i].load_index];
-    SimConfig cfg = opts_.config;
-    cfg.seed = derive_point_seed(opts_.config.seed, i);
-    SimStack stack(*spec.topo, tables[points[i].series], spec.strategy, cfg, spec.params);
-    SweepPoint pt;
-    pt.offered = load;
-    pt.result = stack.run_open_loop(*spec.pattern, load, opts_.duration, opts_.warmup);
-    events[i] = pt.result.events_processed;
-    out[points[i].series][points[i].load_index] = std::move(pt);
+    try {
+      SimConfig cfg = opts_.config;
+      cfg.seed = derive_point_seed(opts_.config.seed, i);
+      SimStack stack(*spec.topo, tables[points[i].series], spec.strategy, cfg,
+                     spec.params);
+      SweepPoint pt;
+      pt.offered = load;
+      pt.result = stack.run_open_loop(*spec.pattern, load, opts_.duration, opts_.warmup);
+      events[i] = pt.result.events_processed;
+      out[points[i].series][points[i].load_index] = std::move(pt);
+    } catch (const std::exception& e) {
+      // Annotate with the failing point's identity: with many points in
+      // flight a bare what() cannot be traced back to a simulation.
+      std::ostringstream msg;
+      msg << "sweep point failed (series \"" << spec.label << "\", load " << load
+          << ", point " << i << "): " << e.what();
+      throw std::runtime_error(msg.str());
+    }
   };
 
   if (jobs_ <= 1) {

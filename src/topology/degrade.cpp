@@ -77,7 +77,7 @@ DegradeResult remove_random_links(const Topology& topo, int count, Rng& rng,
     if (!drop[i]) out.add_link(remaining[i].r1, remaining[i].r2);
   }
   out.finalize();
-  return DegradeResult{std::move(out), std::move(removed)};
+  return DegradeResult{std::move(out), std::move(removed), count};
 }
 
 }  // namespace d2net

@@ -15,6 +15,11 @@ namespace d2net {
 struct DegradeResult {
   Topology topo;
   std::vector<Link> removed;
+  /// Removals asked for; removed.size() < requested means keep_connected
+  /// vetoed some candidates (callers should surface the shortfall).
+  int requested = 0;
+
+  bool shortfall() const { return static_cast<int>(removed.size()) < requested; }
 };
 
 /// Removes `count` uniformly chosen router-to-router links. When

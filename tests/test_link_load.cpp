@@ -309,6 +309,49 @@ TEST(Degrade, RejectsRemovingAllLinks) {
   const Topology topo = build_mlfm(3);
   Rng rng(1);
   EXPECT_THROW(remove_random_links(topo, topo.num_links(), rng), ArgumentError);
+  EXPECT_THROW(remove_random_links(topo, topo.num_links() + 5, rng), ArgumentError);
+  EXPECT_THROW(remove_random_links(topo, -1, rng), ArgumentError);
+}
+
+TEST(Degrade, ZeroCountIsIdentity) {
+  const Topology topo = build_slim_fly(5);
+  Rng rng(4);
+  const DegradeResult deg = remove_random_links(topo, 0, rng);
+  EXPECT_TRUE(deg.removed.empty());
+  EXPECT_EQ(deg.requested, 0);
+  EXPECT_FALSE(deg.shortfall());
+  EXPECT_EQ(deg.topo.num_links(), topo.num_links());
+  EXPECT_EQ(deg.topo.num_nodes(), topo.num_nodes());
+}
+
+TEST(Degrade, FixedSeedIsDeterministic) {
+  const Topology topo = build_oft(4);
+  Rng rng_a(9);
+  Rng rng_b(9);
+  const DegradeResult a = remove_random_links(topo, 15, rng_a);
+  const DegradeResult b = remove_random_links(topo, 15, rng_b);
+  ASSERT_EQ(a.removed.size(), b.removed.size());
+  for (std::size_t i = 0; i < a.removed.size(); ++i) {
+    EXPECT_EQ(a.removed[i].r1, b.removed[i].r1);
+    EXPECT_EQ(a.removed[i].r2, b.removed[i].r2);
+  }
+  ASSERT_EQ(a.topo.num_links(), b.topo.num_links());
+  for (int i = 0; i < a.topo.num_links(); ++i) {
+    EXPECT_EQ(a.topo.links()[i].r1, b.topo.links()[i].r1);
+    EXPECT_EQ(a.topo.links()[i].r2, b.topo.links()[i].r2);
+  }
+}
+
+TEST(Degrade, ShortfallIsReportedWhenTheGuardVetoes) {
+  // Asking for all-but-one link with keep_connected forces vetoes on every
+  // seed: a spanning tree of R routers needs R - 1 links.
+  const Topology topo = build_mlfm(3);
+  Rng rng(2);
+  const DegradeResult deg =
+      remove_random_links(topo, topo.num_links() - 1, rng, /*keep_connected=*/true);
+  EXPECT_EQ(deg.requested, topo.num_links() - 1);
+  EXPECT_TRUE(deg.shortfall());
+  EXPECT_LT(static_cast<int>(deg.removed.size()), deg.requested);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <queue>
+#include <stdexcept>
 #include <vector>
 
 #include "common/rng.h"
@@ -51,6 +52,59 @@ TEST(ThreadPool, ParallelForZeroAndOne) {
 
 TEST(ThreadPool, HardwareConcurrencyAtLeastOne) {
   EXPECT_GE(ThreadPool::hardware_concurrency(), 1);
+}
+
+TEST(ThreadPool, TaskExceptionSurfacesOnWaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.submit([] { throw std::runtime_error("task 7 exploded"); });
+  // Later tasks still run: one bad task must not tear down its worker.
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1); });
+  }
+  EXPECT_THROW(
+      {
+        try {
+          pool.wait_idle();
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "task 7 exploded");
+          throw;
+        }
+      },
+      std::runtime_error);
+  EXPECT_EQ(ran.load(), 20);
+  // The error is cleared on rethrow; the pool remains usable.
+  pool.submit([&ran] { ran.fetch_add(1); });
+  EXPECT_NO_THROW(pool.wait_idle());
+  EXPECT_EQ(ran.load(), 21);
+}
+
+TEST(ThreadPool, OnlyFirstOfManyExceptionsIsKept) {
+  ThreadPool pool(1);  // single worker => deterministic task order
+  pool.submit([] { throw std::runtime_error("first"); });
+  pool.submit([] { throw std::runtime_error("second"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle must rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+}
+
+TEST(ThreadPool, ParallelForPropagatesBodyException) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  try {
+    pool.parallel_for(64, [&](std::size_t i) {
+      if (i == 13) throw std::runtime_error("body 13 failed");
+      ran.fetch_add(1);
+    });
+    FAIL() << "parallel_for must rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "body 13 failed");
+  }
+  // All other indices still executed despite the failure.
+  EXPECT_EQ(ran.load(), 63);
 }
 
 // ------------------------------------------------- event queue (4-ary heap)
