@@ -110,8 +110,11 @@ int main(int argc, char** argv) {
               burst_frac * 100, to_us(t_burst),
               restore ? ", restored later" : ", permanent");
 
+  // "wedged" (watchdog: no simulated progress) and "deadline"
+  // (--point-timeout wall-clock budget expired) are distinct abort modes
+  // and get separate columns.
   Table summary({"system", "routing", "accepted", "dropped", "retried", "lost",
-                 "reroutes", "unreach", "wedged"});
+                 "reroutes", "unreach", "wedged", "deadline"});
   for (const auto& sys : paper_systems(opts.full)) {
     if (sys.label == "SF p=cl") continue;  // one SF flavor suffices here
     const int count =
@@ -125,6 +128,7 @@ int main(int argc, char** argv) {
     for (const Mode& mode : kModes) {
       SimConfig cfg;
       cfg.seed = opts.seed;
+      cfg.wall_limit_seconds = opts.point_timeout_s;
       cfg.fault.schedule =
           make_link_burst(sys.topo, t_burst, count, opts.seed, restore_after);
       cfg.fault.recovery = mode.recovery;
@@ -137,9 +141,12 @@ int main(int argc, char** argv) {
       summary.add(sys.label, mode.label, fmt(r.accepted_throughput, 3),
                   r.faults.packets_dropped, r.faults.packets_retried,
                   r.faults.packets_lost, r.faults.reroutes, r.faults.unreachable_pairs,
-                  r.faults.wedged ? "yes" : "no");
+                  r.faults.wedged ? "yes" : "no", r.timed_out ? "yes" : "no");
       labels.push_back(mode.label);
-      series.push_back({SweepPoint{load, r}});
+      SweepPoint pt;
+      pt.offered = load;
+      pt.result = r;
+      series.push_back({std::move(pt)});
     }
 
     // Degradation-and-recovery curve: delivered bytes per bucket, normalized
@@ -187,6 +194,5 @@ int main(int argc, char** argv) {
   if (cli.get_bool("wedge-demo")) {
     wedge_demo(paper_systems(opts.full).front(), opts.seed);
   }
-  report.write();
-  return 0;
+  return report.finish();
 }

@@ -3,8 +3,10 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "common/error.h"
+#include "common/journal.h"
 #include "common/thread_pool.h"
 #include "sim/traffic.h"
 #include "topology/mlfm.h"
@@ -21,6 +23,8 @@ SweepRunOptions BenchOptions::sweep_options() const {
   if (metrics_sample > 0) out.config.metrics.sample_period = metrics_sample;
   out.duration = duration;
   out.warmup = warmup;
+  out.point_timeout_seconds = point_timeout_s;
+  out.point_attempts = 1 + point_retries;
   return out;
 }
 
@@ -39,7 +43,19 @@ void add_standard_flags(Cli& cli) {
             "collect per-port/VC metrics and run-phase detail into --json "
             "(does not change simulation results)")
       .flag("metrics-sample-us", 1.0,
-            "buffer-occupancy sampling period with --metrics, microseconds");
+            "buffer-occupancy sampling period with --metrics, microseconds")
+      .flag("journal", std::string{},
+            "crash-safe journal directory: manifest + append-only JSONL of "
+            "completed points (see docs/durable_sweeps.md)")
+      .flag("resume", false,
+            "with --journal: skip points already completed in the journal "
+            "and re-run only missing/failed ones (manifest must match)")
+      .flag("point-timeout", 0.0,
+            "wall-clock budget per sweep point in seconds (0 = unlimited); "
+            "an over-budget point ends with timed_out=true + partial stats")
+      .flag("point-retries", std::int64_t{1},
+            "extra attempts (each with a fresh derived seed) for a point "
+            "that timed out or threw");
 }
 
 BenchOptions read_standard_flags(const Cli& cli) {
@@ -56,6 +72,14 @@ BenchOptions read_standard_flags(const Cli& cli) {
   const double sample_us = cli.get_double("metrics-sample-us");
   D2NET_REQUIRE(sample_us > 0.0, "--metrics-sample-us must be > 0");
   opts.metrics_sample = us(sample_us);
+  opts.journal_dir = cli.get_string("journal");
+  opts.resume = cli.get_bool("resume");
+  D2NET_REQUIRE(!opts.resume || !opts.journal_dir.empty(),
+                "--resume requires --journal=<dir>");
+  opts.point_timeout_s = cli.get_double("point-timeout");
+  D2NET_REQUIRE(opts.point_timeout_s >= 0.0, "--point-timeout must be >= 0");
+  opts.point_retries = static_cast<int>(cli.get_int("point-retries"));
+  D2NET_REQUIRE(opts.point_retries >= 0, "--point-retries must be >= 0");
   if (opts.full) {
     // The paper simulates 200 us with a 20 us warm-up; scale up unless the
     // user overrode the defaults.
@@ -84,26 +108,8 @@ std::vector<SystemConfig> paper_systems(bool full) {
 
 namespace {
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+// String emission uses the shared d2net::json_escape (common/journal.h):
+// exception texts and labels must never corrupt a report or journal line.
 
 void write_phases(std::ostream& os, const RunPhaseBreakdown& ph) {
   os << "{\"injected_warmup\": " << ph.injected_warmup
@@ -213,7 +219,63 @@ void write_faults(std::ostream& os, const FaultStats& f) {
   os << "}";
 }
 
+// The one serializer for a sweep point's result object. Everything the
+// report emits per point goes through here, so the journal can record the
+// exact rendered fragment and splice it back verbatim on resume.
+void write_point_json(std::ostream& os, const SweepPoint& pt) {
+  os << "{\"load\": " << pt.offered
+     << ", \"throughput\": " << pt.result.accepted_throughput
+     << ", \"avg_latency_ns\": " << pt.result.avg_latency_ns
+     << ", \"p99_latency_ns\": " << pt.result.p99_latency_ns
+     << ", \"packets_measured\": " << pt.result.packets_measured
+     << ", \"phases\": ";
+  write_phases(os, pt.result.phases);
+  // Durability fields appear only when non-default, keeping healthy runs'
+  // output byte-stable across versions.
+  if (pt.result.timed_out) os << ", \"timed_out\": true";
+  if (pt.attempts > 1) os << ", \"attempts\": " << pt.attempts;
+  if (pt.failed) {
+    os << ", \"failed\": true, \"error\": \"" << json_escape(pt.error) << "\"";
+  }
+  if (pt.result.faults.enabled) {
+    os << ", \"faults\": ";
+    write_faults(os, pt.result.faults);
+  }
+  if (pt.result.metrics != nullptr) {
+    os << ", \"metrics\": ";
+    write_metrics(os, *pt.result.metrics);
+  }
+  os << "}";
+}
+
 }  // namespace
+
+std::string render_point_json(const SweepPoint& pt) {
+  if (pt.restored && !pt.restored_json.empty()) return pt.restored_json;
+  std::ostringstream os;
+  os.precision(10);  // matches BenchReport::write's stream settings
+  write_point_json(os, pt);
+  return os.str();
+}
+
+std::string bench_manifest(const std::string& bench_name, const BenchOptions& opts) {
+  // Everything that changes simulated results belongs here; presentation
+  // knobs (--json path, --csv, --jobs) deliberately do not — results are
+  // identical for every value, so resuming across them is safe.
+  std::ostringstream os;
+  os.precision(17);
+  os << "bench=" << bench_name << "\n"
+     << "build=" << build_describe() << "\n"
+     << "full=" << (opts.full ? 1 : 0) << "\n"
+     << "duration_us=" << to_us(opts.duration) << "\n"
+     << "warmup_us=" << to_us(opts.warmup) << "\n"
+     << "seed=" << opts.seed << "\n"
+     << "metrics=" << (opts.metrics ? 1 : 0) << "\n"
+     << "metrics_sample_us=" << to_us(opts.metrics_sample) << "\n"
+     << "point_timeout_s=" << opts.point_timeout_s << "\n"
+     << "point_retries=" << opts.point_retries << "\n";
+  return os.str();
+}
 
 BenchReport::BenchReport(std::string bench_name, const BenchOptions& opts)
     : bench_name_(std::move(bench_name)), opts_(opts) {
@@ -222,6 +284,14 @@ BenchReport::BenchReport(std::string bench_name, const BenchOptions& opts)
   if (!opts_.json_path.empty()) {
     std::ofstream probe(opts_.json_path);
     D2NET_REQUIRE(probe.good(), "cannot open --json path: " + opts_.json_path);
+  }
+  if (!opts_.journal_dir.empty()) {
+    journal_ = std::make_unique<SweepJournal>(
+        opts_.journal_dir, bench_manifest(bench_name_, opts_), opts_.resume);
+    if (opts_.resume && journal_->loaded_points() > 0) {
+      std::printf("resuming from %s: %zu completed point(s) on record\n",
+                  opts_.journal_dir.c_str(), journal_->loaded_points());
+    }
   }
 }
 
@@ -260,24 +330,9 @@ void BenchReport::write() const {
       os << "       {\"label\": \""
          << json_escape(s < sw.labels.size() ? sw.labels[s] : "") << "\", \"points\": [";
       for (std::size_t p = 0; p < sw.series[s].size(); ++p) {
-        const SweepPoint& pt = sw.series[s][p];
-        os << (p ? ", " : "")
-           << "{\"load\": " << pt.offered
-           << ", \"throughput\": " << pt.result.accepted_throughput
-           << ", \"avg_latency_ns\": " << pt.result.avg_latency_ns
-           << ", \"p99_latency_ns\": " << pt.result.p99_latency_ns
-           << ", \"packets_measured\": " << pt.result.packets_measured
-           << ", \"phases\": ";
-        write_phases(os, pt.result.phases);
-        if (pt.result.faults.enabled) {
-          os << ", \"faults\": ";
-          write_faults(os, pt.result.faults);
-        }
-        if (pt.result.metrics != nullptr) {
-          os << ", \"metrics\": ";
-          write_metrics(os, *pt.result.metrics);
-        }
-        os << "}";
+        // render_point_json returns journal-restored fragments verbatim, so
+        // a resumed run's document is byte-identical to an uninterrupted one.
+        os << (p ? ", " : "") << render_point_json(sw.series[s][p]);
       }
       os << "]}";
     }
@@ -285,6 +340,40 @@ void BenchReport::write() const {
   }
   os << "\n  ]\n}\n";
   D2NET_REQUIRE(os.good(), "failed writing --json output: " + opts_.json_path);
+}
+
+int BenchReport::finish() const {
+  std::int64_t failed = 0;
+  std::int64_t timed_out = 0;
+  for (const SweepRecord& sw : sweeps_) {
+    for (std::size_t s = 0; s < sw.series.size(); ++s) {
+      for (const SweepPoint& pt : sw.series[s]) {
+        if (pt.result.timed_out) {
+          ++timed_out;
+          std::fprintf(stderr, "timed out: %s / %s load %.3g (%d attempt%s)\n",
+                       sw.title.c_str(),
+                       s < sw.labels.size() ? sw.labels[s].c_str() : "?", pt.offered,
+                       pt.attempts, pt.attempts == 1 ? "" : "s");
+        }
+        if (pt.failed) {
+          ++failed;
+          std::fprintf(stderr, "FAILED: %s\n", pt.error.c_str());
+        }
+      }
+    }
+  }
+  if (failed > 0 || timed_out > 0) {
+    std::fprintf(stderr,
+                 "sweep summary: %lld point(s) failed, %lld timed out%s\n",
+                 static_cast<long long>(failed), static_cast<long long>(timed_out),
+                 journal_ != nullptr
+                     ? " — re-run with --resume to retry only the failed points"
+                     : "");
+  }
+  write();
+  // Timed-out points carry valid partial statistics under a budget the user
+  // chose; only points with no result at all make the run a failure.
+  return failed > 0 ? 1 : 0;
 }
 
 // ---------------------------------------------------------- sweep running
@@ -303,8 +392,18 @@ void print_sweep_table(const std::string& title,
   for (std::size_t i = 0; i < loads.size(); ++i) {
     std::vector<std::string> row{fmt(loads[i], 2)};
     for (const auto& s : series) {
-      row.push_back(fmt(s[i].result.accepted_throughput, 3));
-      row.push_back(fmt(s[i].result.avg_latency_ns, 0));
+      if (s[i].failed) {
+        // No measurement exists; a zero would read as a real (terrible)
+        // result.
+        row.push_back("FAIL");
+        row.push_back("FAIL");
+      } else {
+        // '*' marks partial statistics from a point cut off by
+        // --point-timeout.
+        const char* mark = s[i].result.timed_out ? "*" : "";
+        row.push_back(fmt(s[i].result.accepted_throughput, 3) + mark);
+        row.push_back(fmt(s[i].result.avg_latency_ns, 0) + mark);
+      }
     }
     t.add_row(std::move(row));
   }
@@ -326,7 +425,14 @@ std::vector<std::vector<SweepPoint>> run_and_print_sweep(
     D2NET_REQUIRE(s.loads == specs.front().loads,
                   "all series of one printed sweep must share a load grid");
   }
-  SweepRunner runner(opts.sweep_options());
+  SweepRunOptions ropts = opts.sweep_options();
+  if (report != nullptr && report->journal() != nullptr) {
+    ropts.journal = report->journal();
+    ropts.scope = title;  // unique per journal, enforced by register_scope
+    ropts.tolerate_failures = true;
+    ropts.serialize = [](const SweepPoint& pt) { return render_point_json(pt); };
+  }
+  SweepRunner runner(ropts);
   auto series = runner.run(specs);
   std::vector<std::string> labels;
   for (const SweepSeriesSpec& s : specs) labels.push_back(s.label);
@@ -335,6 +441,13 @@ std::vector<std::vector<SweepPoint>> run_and_print_sweep(
   std::printf("timing: %.2fs wall, %d jobs, %lld events, %.2fM events/s\n",
               st.wall_seconds, st.jobs, static_cast<long long>(st.events),
               st.events_per_second() / 1e6);
+  if (st.restored_points > 0 || st.timed_out_points > 0 || st.failed_points > 0) {
+    std::printf("durability: %lld point(s) restored from journal, %lld timed out, "
+                "%lld failed\n",
+                static_cast<long long>(st.restored_points),
+                static_cast<long long>(st.timed_out_points),
+                static_cast<long long>(st.failed_points));
+  }
   if (report != nullptr) report->add_sweep(title, labels, series, st);
   return series;
 }

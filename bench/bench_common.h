@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/cli.h"
+#include "common/journal.h"
 #include "common/table.h"
 #include "sim/experiment.h"
 #include "sim/sweep_runner.h"
@@ -28,6 +29,12 @@ struct BenchOptions {
   std::string json_path;     ///< write timing/result JSON here ("" = off)
   bool metrics = false;      ///< collect per-port/VC detail (see docs/observability.md)
   TimePs metrics_sample = 0; ///< occupancy sampling period with --metrics
+
+  // Durable execution (see docs/durable_sweeps.md):
+  std::string journal_dir;     ///< --journal: crash-safe journal directory
+  bool resume = false;         ///< --resume: replay completed points from it
+  double point_timeout_s = 0;  ///< --point-timeout: wall budget per point, s
+  int point_retries = 1;       ///< --point-retries: extra attempts per point
 
   /// SweepRunner options carrying these settings (seed becomes the base
   /// seed for per-point derivation).
@@ -75,6 +82,11 @@ Topology paper_oft(bool full);
 /// "watchdog" snapshot when wedged and "delivered_bytes_buckets" /
 /// "bucket_width_us" when recovery sampling is on} (see docs/resilience.md).
 ///
+/// Points cut short by --point-timeout carry "timed_out": true; points that
+/// needed retries carry "attempts": N; journaled points whose every attempt
+/// threw carry "failed": true and "error": "..." (absent on healthy runs,
+/// keeping their output byte-stable across versions).
+///
 /// With --metrics each point additionally carries a "metrics" object:
 /// {"sample_period_us": ..., "counters": {name: value, ...},
 ///  "histograms": {name: {"count", "mean", "p50", "p99", "underflow",
@@ -88,6 +100,9 @@ Topology paper_oft(bool full);
 /// docs/observability.md for semantics).
 class BenchReport {
  public:
+  /// With opts.journal_dir set, opens (or resumes) the crash-safe sweep
+  /// journal — manifest mismatch on resume is a hard error (see
+  /// docs/durable_sweeps.md).
   BenchReport(std::string bench_name, const BenchOptions& opts);
 
   void add_sweep(const std::string& title, const std::vector<std::string>& labels,
@@ -96,6 +111,14 @@ class BenchReport {
 
   /// Writes the document to opts.json_path; no-op when the flag was unset.
   void write() const;
+
+  /// Prints a failure summary (failed / timed-out points with their errors),
+  /// writes the report, and returns the process exit code: non-zero iff any
+  /// point permanently failed. Mains end with `return report.finish();`.
+  int finish() const;
+
+  /// The journal opened from opts.journal_dir (null without --journal).
+  SweepJournal* journal() const { return journal_.get(); }
 
  private:
   struct SweepRecord {
@@ -108,7 +131,18 @@ class BenchReport {
   std::string bench_name_;
   BenchOptions opts_;
   std::vector<SweepRecord> sweeps_;
+  std::unique_ptr<SweepJournal> journal_;
 };
+
+/// Renders one sweep point as the JSON object BenchReport emits (the
+/// journal's payload format). Restored points return their journaled
+/// fragment verbatim — the single-serializer design that makes resumed
+/// --json output byte-identical to an uninterrupted run.
+std::string render_point_json(const SweepPoint& pt);
+
+/// The manifest text for a bench invocation (hashed into the journal; see
+/// docs/durable_sweeps.md for the fields).
+std::string bench_manifest(const std::string& bench_name, const BenchOptions& opts);
 
 /// Prints a sweep as the paper's two panels: throughput and mean delay vs
 /// offered load, one row per load, one series per label.

@@ -22,6 +22,5 @@ int main(int argc, char** argv) {
   spec.c_values = {0.5, 2.0, 8.0};
   spec.fixed_ni = 1;
   run_adaptive_figure(paper_oft(opts.full), spec, opts, &report);
-  report.write();
-  return 0;
+  return report.finish();
 }

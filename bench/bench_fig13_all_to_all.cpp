@@ -28,6 +28,8 @@ int main(int argc, char** argv) {
 
   SimConfig cfg;
   cfg.seed = opts.seed;
+  // --point-timeout bounds the wall clock of each exchange run.
+  cfg.wall_limit_seconds = opts.point_timeout_s;
 
   std::printf("== Fig. 13: effective throughput, one all-to-all (%lld B/pair, %s) ==\n",
               static_cast<long long>(bytes),
@@ -41,8 +43,12 @@ int main(int argc, char** argv) {
       SimStack stack(sys.topo, s, cfg);
       const ExchangeResult r = stack.run_exchange(plan, us(5'000'000));
       // An aborted run has no meaningful completion time; an explicit
-      // marker beats a misleading 0.0 in the table/CSV/JSON.
-      const char* abort_marker = r.faults.wedged ? "WEDGED" : "TIMEOUT";
+      // marker beats a misleading 0.0 in the table/CSV/JSON. The three
+      // abort modes are distinct: WEDGED = no simulated progress (watchdog),
+      // DEADLINE = --point-timeout wall-clock budget expired, TIMEOUT = the
+      // simulated time limit elapsed while still progressing.
+      const char* abort_marker =
+          r.faults.wedged ? "WEDGED" : r.timed_out ? "DEADLINE" : "TIMEOUT";
       t.add(sys.label, to_string(s),
             r.completed ? fmt(r.effective_throughput, 3) : abort_marker,
             r.completed ? fmt(r.completion_us, 1) : abort_marker);

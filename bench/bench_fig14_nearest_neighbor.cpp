@@ -30,6 +30,8 @@ int main(int argc, char** argv) {
 
   SimConfig cfg;
   cfg.seed = opts.seed;
+  // --point-timeout bounds the wall clock of each exchange run.
+  cfg.wall_limit_seconds = opts.point_timeout_s;
 
   std::printf("== Fig. 14: effective throughput, one nearest-neighbor exchange ==\n");
   Table t({"system", "torus", "routing", "eff. throughput", "completion (us)"});
@@ -45,8 +47,11 @@ int main(int argc, char** argv) {
       SimStack stack(sys.topo, s, cfg);
       const ExchangeResult r = stack.run_exchange(plan, us(20'000'000));
       // An aborted run has no meaningful completion time; an explicit
-      // marker beats a misleading 0.0 in the table/CSV/JSON.
-      const char* abort_marker = r.faults.wedged ? "WEDGED" : "TIMEOUT";
+      // marker beats a misleading 0.0 in the table/CSV/JSON. WEDGED = no
+      // simulated progress (watchdog), DEADLINE = --point-timeout wall
+      // budget expired, TIMEOUT = simulated time limit elapsed.
+      const char* abort_marker =
+          r.faults.wedged ? "WEDGED" : r.timed_out ? "DEADLINE" : "TIMEOUT";
       t.add(sys.label, torus, to_string(s),
             r.completed ? fmt(r.effective_throughput, 3) : abort_marker,
             r.completed ? fmt(r.completion_us, 1) : abort_marker);

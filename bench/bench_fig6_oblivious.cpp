@@ -59,6 +59,5 @@ int main(int argc, char** argv) {
         std::string("Fig. 6") + (worst_case ? "b — worst-case" : "a — uniform"), specs,
         opts, &report);
   }
-  report.write();
-  return 0;
+  return report.finish();
 }

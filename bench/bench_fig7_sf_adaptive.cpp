@@ -21,6 +21,5 @@ int main(int argc, char** argv) {
   spec.c_values = {0.25, 1.0, 4.0};
   spec.fixed_ni = 4;
   run_adaptive_figure(paper_slim_fly(opts.full, /*ceil_p=*/false), spec, opts, &report);
-  report.write();
-  return 0;
+  return report.finish();
 }

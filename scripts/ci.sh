@@ -5,11 +5,16 @@
 # accidentally ordered), then an ASan+UBSan build that runs the
 # fault-injection and simulator-edge suites — the code paths that tear
 # down in-flight state mid-run and are therefore the likeliest source of
-# lifetime/indexing bugs.
+# lifetime/indexing bugs — and finally an end-to-end kill/resume drill on a
+# real bench binary: journal a sweep, truncate the journal mid-file with a
+# torn final line (what a SIGKILL leaves behind), resume, and require the
+# resumed --json output to be byte-identical to an uninterrupted run (see
+# docs/durable_sweeps.md).
 #
 #   scripts/ci.sh            # all stages, build trees under build-ci*/
 #   SKIP_TSAN=1 scripts/ci.sh
 #   SKIP_ASAN=1 scripts/ci.sh
+#   SKIP_RESUME=1 scripts/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -35,6 +40,36 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
     ./build-ci-asan/tests/test_faults
   ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
     ./build-ci-asan/tests/test_sim_edge
+fi
+
+if [[ "${SKIP_RESUME:-0}" != "1" ]]; then
+  echo "=== stage 4: crash/resume durability drill (bench_fig6_oblivious) ==="
+  cmake --build build-ci -j "$JOBS" --target bench_fig6_oblivious
+  BENCH=./build-ci/bench/bench_fig6_oblivious
+  WORK=build-ci/resume-drill
+  rm -rf "$WORK" && mkdir -p "$WORK"
+  ARGS=(--duration-us=2 --warmup-us=0.5 --seed=3)
+  # wall_seconds / events_per_second are genuine wall-clock measurements and
+  # legitimately differ between runs; everything else must match exactly.
+  normalize() { sed -E 's/"(wall_seconds|events_per_second)": [0-9.eE+-]+/"\1": X/g' "$1"; }
+
+  "$BENCH" "${ARGS[@]}" --json="$WORK/clean.json" >/dev/null
+  "$BENCH" "${ARGS[@]}" --journal="$WORK/journal-full" --json="$WORK/full.json" >/dev/null
+
+  # Simulated crash: copy the full journal, keep only the first 40% of its
+  # lines, and append a torn final line (no trailing newline).
+  cp -r "$WORK/journal-full" "$WORK/journal-cut"
+  LINES=$(wc -l < "$WORK/journal-cut/journal.jsonl")
+  KEEP=$(( LINES * 2 / 5 )); [[ "$KEEP" -lt 1 ]] && KEEP=1
+  head -n "$KEEP" "$WORK/journal-full/journal.jsonl" > "$WORK/journal-cut/journal.jsonl"
+  printf '{"key": "torn' >> "$WORK/journal-cut/journal.jsonl"
+
+  "$BENCH" "${ARGS[@]}" --journal="$WORK/journal-cut" --resume \
+    --json="$WORK/resumed.json" >/dev/null
+
+  diff <(normalize "$WORK/resumed.json") <(normalize "$WORK/full.json")
+  diff <(normalize "$WORK/resumed.json") <(normalize "$WORK/clean.json")
+  echo "resume drill OK: resumed output is byte-identical ($KEEP/$LINES journal lines survived the crash)"
 fi
 
 echo "CI OK"

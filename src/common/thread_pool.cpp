@@ -54,13 +54,16 @@ int ThreadPool::hardware_concurrency() {
 }
 
 void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& body) {
+                              const std::function<void(std::size_t)>& body,
+                              bool stop_on_first_error) {
   if (n == 0) return;
   // Shared claim counter: workers and the caller pull the next unclaimed
   // index until none remain. shared_ptr keeps it alive for stragglers.
   auto next = std::make_shared<std::atomic<std::size_t>>(0);
-  auto run_claims = [this, next, n, &body] {
+  auto failed = std::make_shared<std::atomic<bool>>(false);
+  auto run_claims = [this, next, failed, n, stop_on_first_error, &body] {
     for (;;) {
+      if (stop_on_first_error && failed->load(std::memory_order_relaxed)) return;
       const std::size_t i = next->fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       // Capture here (not only in worker_loop) so a throw on the calling
@@ -68,6 +71,7 @@ void ThreadPool::parallel_for(std::size_t n,
       try {
         body(i);
       } catch (...) {
+        failed->store(true, std::memory_order_relaxed);
         record_error(std::current_exception());
       }
     }

@@ -45,8 +45,13 @@ class ThreadPool {
   /// returns when all are done. Indices are claimed from a shared counter,
   /// so any thread may run any index; bodies touching disjoint state need
   /// no further synchronization. If any body throws, the remaining claimed
-  /// indices still run and the first exception is rethrown here afterwards.
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+  /// indices still run (default) and the first exception is rethrown here
+  /// afterwards. With `stop_on_first_error` set, unclaimed indices are
+  /// skipped once a body has thrown — for callers (journaled sweeps) whose
+  /// partial results are already durable and who prefer failing fast over
+  /// finishing a run that will be reported as failed anyway.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                    bool stop_on_first_error = false);
 
  private:
   void worker_loop();

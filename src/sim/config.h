@@ -47,6 +47,21 @@ struct SimConfig {
   /// and docs/resilience.md). Inert with an empty schedule.
   FaultConfig fault;
 
+  /// Wall-clock budget per run in seconds; 0 disables. When the budget is
+  /// exhausted the event loop stops cooperatively and the result carries
+  /// timed_out=true plus whatever statistics accumulated (see
+  /// docs/durable_sweeps.md). Distinct from the watchdog's wedged flag:
+  /// wedged means the simulation stopped making progress, timed_out means
+  /// the host ran out of patience.
+  double wall_limit_seconds = 0.0;
+
+  /// Paranoid self-audit: verify credit conservation and buffer-occupancy
+  /// bounds on every wire at end-of-run and after every fault application
+  /// (InternalError on violation). Also enabled by a non-empty, non-"0"
+  /// D2NET_PARANOID environment variable. Off by default; bit-identical
+  /// when off or passing (read-only checks outside the event loop).
+  bool paranoid = false;
+
   /// Time for one packet to cross one link at line rate.
   TimePs packet_serialization() const {
     return static_cast<TimePs>(packet_bytes) * ps_per_byte;

@@ -71,6 +71,7 @@ std::vector<SweepPoint> run_load_sweep(SimStack& stack, const TrafficPattern& pa
 double saturation_point(const std::vector<SweepPoint>& sweep, double threshold) {
   double sat = 0.0;
   for (const SweepPoint& pt : sweep) {
+    if (pt.failed) continue;  // no measurement to judge
     if (pt.result.accepted_throughput >= threshold * pt.offered) {
       sat = std::max(sat, pt.offered);
     }

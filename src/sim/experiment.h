@@ -62,6 +62,19 @@ class SimStack {
 struct SweepPoint {
   double offered = 0.0;
   OpenLoopResult result;
+  /// Simulation attempts consumed (> 1 after deadline/exception retries;
+  /// see docs/durable_sweeps.md).
+  int attempts = 1;
+  /// True when every attempt ended in an exception; `error` carries the
+  /// last exception text and `result` is default-constructed. Only set
+  /// under a journaled run (otherwise the exception propagates).
+  bool failed = false;
+  std::string error;
+  /// True when this point was not simulated but replayed from a journal;
+  /// restored_json is the rendered result fragment recorded by the original
+  /// run, spliced verbatim into reports for byte-identical output.
+  bool restored = false;
+  std::string restored_json;
 };
 
 /// Runs the open-loop simulation at each offered load.

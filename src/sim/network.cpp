@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <string>
 
 #include "common/error.h"
 #include "routing/minimal_table.h"
@@ -23,6 +25,18 @@ int ExchangePlan::active_nodes() const {
   for (const auto& msgs : per_node) n += msgs.empty() ? 0 : 1;
   return n;
 }
+
+namespace {
+// D2NET_PARANOID: any non-empty value other than "0" enables the self-audit
+// without touching configs — handy for soaking an entire bench suite.
+bool paranoid_env() {
+  static const bool on = [] {
+    const char* v = std::getenv("D2NET_PARANOID");
+    return v != nullptr && *v != '\0' && std::string(v) != "0";
+  }();
+  return on;
+}
+}  // namespace
 
 NetworkSim::NetworkSim(const Topology& topo, const SimConfig& cfg, int num_vcs)
     : topo_(topo), cfg_(cfg), num_vcs_(num_vcs) {
@@ -106,6 +120,7 @@ NetworkSim::NetworkSim(const Topology& topo, const SimConfig& cfg, int num_vcs)
   }
   router_dead_.assign(routers_.size(), 0);
   queue_.reserve(static_cast<std::size_t>(topo.num_nodes()) * 8);
+  paranoid_ = cfg_.paranoid || paranoid_env();
 
   metrics_enabled_ = cfg_.metrics.enabled;
   if (metrics_enabled_) {
@@ -149,6 +164,7 @@ void NetworkSim::reset() {
   std::fill(router_dead_.begin(), router_dead_.end(), std::uint8_t{0});
   fstats_ = FaultStats{};
   wedged_ = false;
+  timed_out_ = false;
   progress_ = 0;
   watch_last_ = 0;
   pool_.recycle_all();
@@ -568,6 +584,9 @@ void NetworkSim::dispatch(const Event& e) {
       break;
     case EventType::kFault:
       apply_fault(cfg_.fault.schedule[static_cast<std::size_t>(e.a)], e.time);
+      // Fault application rewires credits and drains VOQs wholesale — the
+      // exact transitions the paranoid audit exists to police.
+      if (paranoid_) self_audit("apply_fault");
       break;
     case EventType::kRetryInject:
       handle_retry(e.a, e.time);
@@ -958,11 +977,20 @@ void NetworkSim::setup_faults() {
   }
 }
 
+void NetworkSim::arm_deadline() {
+  deadline_enabled_ = cfg_.wall_limit_seconds > 0.0;
+  if (!deadline_enabled_) return;
+  deadline_countdown_ = kDeadlineStride;
+  deadline_ = std::chrono::steady_clock::now() +
+              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(cfg_.wall_limit_seconds));
+}
+
 void NetworkSim::run_until(TimePs end) {
   while (!queue_.empty()) {
     if (queue_.next_time() > end) break;
     if (exchange_mode_ && exchange_remaining_ == 0) break;
-    if (wedged_) break;
+    if (wedged_ || timed_out_) break;
     const Event e = queue_.pop();
     now_ = e.time;
     if (e.type == EventType::kMetricsSample) {
@@ -980,6 +1008,100 @@ void NetworkSim::run_until(TimePs end) {
     }
     dispatch(e);
     ++events_processed_;
+    // Cooperative wall-clock deadline: one countdown decrement per event,
+    // one steady_clock read per stride. The event sequence is untouched, so
+    // a run that finishes under budget is bit-identical to one with no
+    // budget at all; an over-budget run stops at the next stride boundary
+    // with partial statistics and timed_out=true.
+    if (deadline_enabled_ && --deadline_countdown_ <= 0) {
+      deadline_countdown_ = kDeadlineStride;
+      if (std::chrono::steady_clock::now() >= deadline_) timed_out_ = true;
+    }
+  }
+}
+
+void NetworkSim::self_audit(const char* where) const {
+  if (!paranoid_) return;
+  auto fail = [&](const std::string& msg) {
+    throw InternalError(std::string("paranoid self-audit failed at ") + where + ": " + msg);
+  };
+  auto id = [](int router, std::size_t port) {
+    return "router " + std::to_string(router) + " port " + std::to_string(port);
+  };
+  // Per-VC bytes sitting in the input buffer feeding each in port, and the
+  // recomputed per-out-port VOQ totals.
+  std::vector<std::int64_t> voq_bytes;
+  for (int r = 0; r < topo_.num_routers(); ++r) {
+    const RouterState& rs = routers_[r];
+    voq_bytes.assign(rs.out_ports.size(), 0);
+    for (const InPort& ip : rs.in_ports) {
+      for (const InVc& vc : ip.vcs) {
+        std::int64_t occupied = 0;
+        for (std::size_t o = 0; o < vc.voq.size(); ++o) {
+          for (const QueuedPkt& qp : vc.voq[o]) {
+            occupied += pool_[qp.pkt].size;
+            voq_bytes[o] += pool_[qp.pkt].size;
+          }
+        }
+        if (occupied > vc_buffer_bytes_) {
+          fail("input VC holds " + std::to_string(occupied) + " bytes, buffer is " +
+               std::to_string(vc_buffer_bytes_));
+        }
+      }
+    }
+    for (std::size_t o = 0; o < rs.out_ports.size(); ++o) {
+      const OutPort& op = rs.out_ports[o];
+      if (op.queued_bytes != voq_bytes[o]) {
+        fail(id(r, o) + " queued_bytes " + std::to_string(op.queued_bytes) +
+             " != VOQ contents " + std::to_string(voq_bytes[o]));
+      }
+      if (op.to_node) continue;
+      // Credit conservation on the wire r -> peer: every byte of the
+      // receiving VC buffer is either available as sender credit, in
+      // flight as a pending credit return, or occupied by a buffered
+      // packet. In-flight packets hold the balance, so the sum never
+      // exceeds the buffer and each term stays non-negative.
+      const InPort& peer = routers_[op.peer_router].in_ports[op.peer_in_port];
+      for (int v = 0; v < num_vcs_; ++v) {
+        std::int64_t occupied = 0;
+        for (const auto& fifo : peer.vcs[v].voq) {
+          for (const QueuedPkt& qp : fifo) occupied += pool_[qp.pkt].size;
+        }
+        const std::int64_t credits = op.credits[v];
+        const std::int64_t pending = op.credits_pending[v];
+        if (credits < 0) fail(id(r, o) + " vc " + std::to_string(v) + " negative credits");
+        if (pending < 0) {
+          fail(id(r, o) + " vc " + std::to_string(v) + " negative pending credits");
+        }
+        if (credits + pending + occupied > vc_buffer_bytes_) {
+          fail(id(r, o) + " vc " + std::to_string(v) + " over-credited: credits " +
+               std::to_string(credits) + " + pending " + std::to_string(pending) +
+               " + occupied " + std::to_string(occupied) + " > buffer " +
+               std::to_string(vc_buffer_bytes_));
+        }
+      }
+    }
+  }
+  // Same conservation law on every injection wire (NIC -> router).
+  for (std::size_t n = 0; n < nics_.size(); ++n) {
+    const NicState& nic = nics_[n];
+    const InPort& ip = routers_[nic.router].in_ports[nic.in_port];
+    for (int v = 0; v < num_vcs_; ++v) {
+      std::int64_t occupied = 0;
+      for (const auto& fifo : ip.vcs[v].voq) {
+        for (const QueuedPkt& qp : fifo) occupied += pool_[qp.pkt].size;
+      }
+      const std::int64_t credits = nic.credits[v];
+      const std::int64_t pending = nic.credits_pending[v];
+      if (credits < 0) fail("nic " + std::to_string(n) + " negative credits");
+      if (pending < 0) fail("nic " + std::to_string(n) + " negative pending credits");
+      if (credits + pending + occupied > vc_buffer_bytes_) {
+        fail("nic " + std::to_string(n) + " vc " + std::to_string(v) +
+             " over-credited: credits " + std::to_string(credits) + " + pending " +
+             std::to_string(pending) + " + occupied " + std::to_string(occupied) +
+             " > buffer " + std::to_string(vc_buffer_bytes_));
+      }
+    }
   }
 }
 
@@ -1033,11 +1155,14 @@ OpenLoopResult NetworkSim::run_open_loop(const TrafficPattern& pattern, double l
     queue_.push(cfg_.metrics.sample_period, EventType::kMetricsSample);
   }
   setup_faults();
+  arm_deadline();
   run_until(duration);
   phases_.in_flight_at_end = static_cast<std::int64_t>(pool_.in_use());
+  if (paranoid_) self_audit("run_open_loop end");
 
   OpenLoopResult res;
   res.offered_load = load;
+  res.timed_out = timed_out_;
   const double window_ps = static_cast<double>(window_end_ - window_start_);
   const double capacity_bytes =
       window_ps / static_cast<double>(cfg_.ps_per_byte) * topo_.num_nodes();
@@ -1091,11 +1216,14 @@ ExchangeResult NetworkSim::run_exchange(const ExchangePlan& plan, TimePs time_li
     queue_.push(cfg_.metrics.sample_period, EventType::kMetricsSample);
   }
   setup_faults();
+  arm_deadline();
   run_until(time_limit);
   phases_.in_flight_at_end = static_cast<std::int64_t>(pool_.in_use());
+  if (paranoid_) self_audit("run_exchange end");
 
   ExchangeResult res;
   res.total_bytes = plan.total_bytes();
+  res.timed_out = timed_out_;
   res.delivered_bytes = res.total_bytes - exchange_remaining_;
   res.completed = exchange_completion_ >= 0;
   if (res.completed) {

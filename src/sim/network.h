@@ -19,6 +19,7 @@
 // 100 ns router traversal — and does not affect saturation behavior.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -63,6 +64,10 @@ struct OpenLoopResult {
   double jain_fairness = 0.0;
   /// Warmup / measurement / drain packet accounting; always populated.
   RunPhaseBreakdown phases;
+  /// True when SimConfig::wall_limit_seconds expired before the run
+  /// finished; the statistics above cover only the simulated time actually
+  /// reached. Distinct from faults.wedged (no simulated progress).
+  bool timed_out = false;
   /// Fault-injection accounting (faults.enabled false for healthy runs).
   FaultStats faults;
   /// Per-port/VC detail; non-null only with SimConfig::metrics.enabled.
@@ -102,6 +107,9 @@ struct ExchangeResult {
   /// the line rate — the paper's "effective throughput" (Figs. 13, 14).
   double effective_throughput = 0.0;
   double avg_latency_ns = 0.0;  ///< mean in-network packet latency
+  /// True when SimConfig::wall_limit_seconds expired before completion or
+  /// the simulated time limit (completed is false in that case).
+  bool timed_out = false;
   /// Fault-injection accounting (faults.enabled false for healthy runs).
   FaultStats faults;
   /// Per-port/VC detail; non-null only with SimConfig::metrics.enabled.
@@ -273,6 +281,14 @@ class NetworkSim final : public PortLoadProvider {
   void handle_watchdog(TimePs now);
   bool outstanding_work() const;
 
+  /// Arms (or disarms) the cooperative wall-clock deadline for one run.
+  void arm_deadline();
+  /// Paranoid invariant sweep (see SimConfig::paranoid): per-wire credit
+  /// conservation and buffer-occupancy bounds, VOQ byte-count consistency.
+  /// Throws InternalError with the violated invariant. No-op unless
+  /// paranoid mode is on.
+  void self_audit(const char* where) const;
+
   /// Finalizes the per-run SimMetrics block (nullptr when disabled).
   std::shared_ptr<const SimMetrics> build_metrics();
 
@@ -325,6 +341,19 @@ class NetworkSim final : public PortLoadProvider {
   std::uint64_t progress_ = 0;
   std::uint64_t watch_last_ = 0;
   std::vector<int> salvage_scratch_;  ///< path buffer reused across salvages
+
+  // wall-clock deadline (cooperative cancellation; see
+  // SimConfig::wall_limit_seconds). The clock is only read once per
+  // kDeadlineStride dispatched events, so the event sequence — and thus
+  // every result — is bit-identical whether the deadline is off, armed but
+  // unhit, or absent entirely.
+  static constexpr int kDeadlineStride = 2048;
+  bool deadline_enabled_ = false;
+  bool timed_out_ = false;
+  int deadline_countdown_ = 0;
+  std::chrono::steady_clock::time_point deadline_{};
+
+  bool paranoid_ = false;  ///< SimConfig::paranoid or D2NET_PARANOID env
 
   // statistics
   std::int64_t ejected_bytes_window_ = 0;

@@ -65,36 +65,135 @@ std::vector<std::vector<SweepPoint>> SweepRunner::run(
   std::vector<std::int64_t> events(points.size(), 0);
   const auto t0 = std::chrono::steady_clock::now();
 
+  auto key_for = [&](std::size_t i) { return opts_.scope + "#" + std::to_string(i); };
+  auto topo_fingerprint = [](const Topology& t) {
+    std::ostringstream os;
+    os << "r=" << t.num_routers() << ",n=" << t.num_nodes() << ",l=" << t.num_links();
+    return os.str();
+  };
+
+  // Resolve journal state up front, on the calling thread: configuration
+  // mismatches must abort the run before any simulation starts, and doing
+  // it here keeps the worker path free of validation branches.
+  std::vector<const JournalEntry*> restored(points.size(), nullptr);
+  if (opts_.journal != nullptr) {
+    opts_.journal->register_scope(opts_.scope);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const JournalEntry* e = opts_.journal->find(key_for(i));
+      if (e == nullptr || !e->completed()) continue;  // failed/missing: re-run
+      const SweepSeriesSpec& spec = specs[points[i].series];
+      const double load = spec.loads[points[i].load_index];
+      const std::uint64_t seed = derive_point_seed(opts_.config.seed, i);
+      // The manifest hash should have caught any config drift already;
+      // these per-entry checks are the second lock on the same door (a
+      // journal edited by hand, or a manifest that failed to capture some
+      // input) — restoring a point from a different sweep is silent data
+      // corruption, so they are hard errors, not warnings.
+      D2NET_REQUIRE(e->label == spec.label && e->load == load && e->seed == seed &&
+                        e->topo == topo_fingerprint(*spec.topo),
+                    "journal entry '" + e->key +
+                        "' does not match the current sweep (label/load/seed/topology "
+                        "drift); refusing to mix results — use a fresh --journal dir");
+      restored[i] = e;
+    }
+  }
+
   auto run_point = [&](std::size_t i) {
     const SweepSeriesSpec& spec = specs[points[i].series];
     const double load = spec.loads[points[i].load_index];
-    try {
-      SimConfig cfg = opts_.config;
-      cfg.seed = derive_point_seed(opts_.config.seed, i);
-      SimStack stack(*spec.topo, tables[points[i].series], spec.strategy, cfg,
-                     spec.params);
+    const TimePs duration = spec.duration > 0 ? spec.duration : opts_.duration;
+    const std::uint64_t seed0 = derive_point_seed(opts_.config.seed, i);
+
+    if (const JournalEntry* e = restored[i]) {
       SweepPoint pt;
       pt.offered = load;
-      pt.result = stack.run_open_loop(*spec.pattern, load, opts_.duration, opts_.warmup);
-      events[i] = pt.result.events_processed;
+      pt.restored = true;
+      pt.restored_json = e->payload;
+      pt.attempts = e->attempts;
+      pt.result.offered_load = load;
+      pt.result.accepted_throughput = e->throughput;
+      pt.result.avg_latency_ns = e->avg_latency_ns;
+      pt.result.p99_latency_ns = e->p99_latency_ns;
+      pt.result.packets_measured = e->packets_measured;
+      pt.result.events_processed = e->events;
+      pt.result.timed_out = e->status == "timed_out";
+      events[i] = e->events;
       out[points[i].series][points[i].load_index] = std::move(pt);
-    } catch (const std::exception& e) {
-      // Annotate with the failing point's identity: with many points in
-      // flight a bare what() cannot be traced back to a simulation.
-      std::ostringstream msg;
-      msg << "sweep point failed (series \"" << spec.label << "\", load " << load
-          << ", point " << i << "): " << e.what();
-      throw std::runtime_error(msg.str());
+      return;
     }
+
+    const auto p0 = std::chrono::steady_clock::now();
+    const int max_attempts = std::max(1, opts_.point_attempts);
+    SweepPoint pt;
+    pt.offered = load;
+    // Bounded retry: a fresh attempt re-derives its seed from the point's
+    // first-attempt seed, so retries explore genuinely different event
+    // streams while staying a pure function of (base seed, index, attempt).
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+      SimConfig cfg = opts_.config;
+      cfg.seed = attempt == 0 ? seed0 : derive_point_seed(seed0, attempt);
+      if (opts_.point_timeout_seconds > 0.0) {
+        cfg.wall_limit_seconds = opts_.point_timeout_seconds;
+      }
+      try {
+        SimStack stack(*spec.topo, tables[points[i].series], spec.strategy, cfg,
+                       spec.params);
+        pt.result = stack.run_open_loop(*spec.pattern, load, duration, opts_.warmup);
+        pt.attempts = attempt + 1;
+        pt.failed = false;
+        pt.error.clear();
+        if (!pt.result.timed_out) break;  // done; timed out => retry
+      } catch (const std::exception& e) {
+        // Annotate with the failing point's identity: with many points in
+        // flight a bare what() cannot be traced back to a simulation.
+        std::ostringstream msg;
+        msg << "sweep point failed (series \"" << spec.label << "\", load " << load
+            << ", point " << i << "): " << e.what();
+        pt.attempts = attempt + 1;
+        pt.failed = true;
+        pt.error = msg.str();
+        pt.result = OpenLoopResult{};
+        if (attempt + 1 >= max_attempts && !(opts_.tolerate_failures && opts_.journal)) {
+          throw std::runtime_error(pt.error);
+        }
+      }
+    }
+    events[i] = pt.result.events_processed;
+
+    if (opts_.journal != nullptr) {
+      JournalEntry e;
+      e.key = key_for(i);
+      e.label = spec.label;
+      e.topo = topo_fingerprint(*spec.topo);
+      e.load = load;
+      e.seed = seed0;
+      e.status = pt.failed ? "failed" : pt.result.timed_out ? "timed_out" : "ok";
+      e.attempts = pt.attempts;
+      e.events = pt.result.events_processed;
+      e.wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - p0).count();
+      e.throughput = pt.result.accepted_throughput;
+      e.avg_latency_ns = pt.result.avg_latency_ns;
+      e.p99_latency_ns = pt.result.p99_latency_ns;
+      e.packets_measured = pt.result.packets_measured;
+      e.error = pt.error;
+      if (!pt.failed && opts_.serialize) e.payload = opts_.serialize(pt);
+      opts_.journal->append(e);
+    }
+    out[points[i].series][points[i].load_index] = std::move(pt);
   };
 
   if (jobs_ <= 1) {
     for (std::size_t i = 0; i < points.size(); ++i) run_point(i);
   } else {
     // jobs_ - 1 pool workers: parallel_for has the calling thread claim
-    // points too, so exactly jobs_ threads simulate.
+    // points too, so exactly jobs_ threads simulate. Journaled runs stop
+    // claiming new points after a hard error (journal I/O, non-tolerated
+    // point failure) — everything already completed is on disk, so bailing
+    // out fast beats burning hours on a run that will exit non-zero anyway.
     ThreadPool pool(jobs_ - 1);
-    pool.parallel_for(points.size(), run_point);
+    pool.parallel_for(points.size(), run_point,
+                      /*stop_on_first_error=*/opts_.journal != nullptr);
   }
 
   const auto t1 = std::chrono::steady_clock::now();
@@ -103,6 +202,13 @@ std::vector<std::vector<SweepPoint>> SweepRunner::run(
   stats_.points = static_cast<std::int64_t>(points.size());
   stats_.jobs = jobs_;
   for (std::int64_t e : events) stats_.events += e;
+  for (const auto& series : out) {
+    for (const SweepPoint& pt : series) {
+      stats_.restored_points += pt.restored ? 1 : 0;
+      stats_.failed_points += pt.failed ? 1 : 0;
+      stats_.timed_out_points += pt.result.timed_out ? 1 : 0;
+    }
+  }
   return out;
 }
 

@@ -14,10 +14,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "common/journal.h"
 #include "routing/factory.h"
 #include "sim/experiment.h"
 
@@ -41,6 +44,11 @@ struct SweepSeriesSpec {
   std::optional<UgalParams> params;
   const TrafficPattern* pattern = nullptr;
   std::vector<double> loads;
+  /// Per-series simulated duration override; 0 uses SweepRunOptions::
+  /// duration. Lets one sweep mix short series with much longer ones (the
+  /// deadline tests rely on this to build an unfinishable point next to
+  /// quick ones).
+  TimePs duration = 0;
 };
 
 struct SweepRunOptions {
@@ -52,14 +60,43 @@ struct SweepRunOptions {
   SimConfig config;
   TimePs duration = 0;
   TimePs warmup = 0;
+
+  // --- durable execution (see docs/durable_sweeps.md) ---
+  /// Optional crash-safe journal (non-owning; must outlive the run). Every
+  /// finished point is appended and flushed; points already completed in
+  /// the journal are restored instead of re-simulated. Null = volatile run.
+  SweepJournal* journal = nullptr;
+  /// Journal key prefix for this sweep ("<scope>#<point index>"); must be
+  /// unique per journaled sweep within one journal.
+  std::string scope;
+  /// Wall-clock budget per point attempt in seconds (0 = unlimited);
+  /// forwarded to SimConfig::wall_limit_seconds.
+  double point_timeout_seconds = 0.0;
+  /// Max attempts per point: attempt 0 uses derive_point_seed(seed, i),
+  /// attempt k > 0 re-derives from that (fresh decorrelated stream), so a
+  /// point that timed out by bad luck gets a genuinely different run.
+  int point_attempts = 1;
+  /// With a journal: record a point whose every attempt threw as
+  /// failed (error text journaled, point re-run on resume) instead of
+  /// propagating the exception and abandoning the remaining points.
+  bool tolerate_failures = false;
+  /// Renders a finished point's result JSON for the journal (the fragment
+  /// restored points splice back verbatim). Null journals summaries only.
+  std::function<std::string(const SweepPoint&)> serialize;
 };
 
 /// Aggregate execution metrics of the last run (for the benches' JSON
 /// perf trajectory).
 struct SweepRunStats {
   double wall_seconds = 0.0;
-  std::int64_t events = 0;  ///< simulator events dispatched, all points
+  /// Simulator events dispatched, all points. Restored points contribute
+  /// their journaled counts, so a resumed sweep reports the same total as
+  /// an uninterrupted one.
+  std::int64_t events = 0;
   std::int64_t points = 0;
+  std::int64_t restored_points = 0;   ///< replayed from the journal
+  std::int64_t timed_out_points = 0;  ///< wall-clock budget exhausted
+  std::int64_t failed_points = 0;     ///< every attempt threw (journaled runs)
   int jobs = 1;
   double events_per_second() const {
     return wall_seconds > 0.0 ? static_cast<double>(events) / wall_seconds : 0.0;
