@@ -128,6 +128,13 @@ void write_vc(std::ostream& os, int vc, const VcMetrics& vm) {
 
 void write_metrics(std::ostream& os, const SimMetrics& m) {
   os << "{\"sample_period_us\": " << to_us(m.sample_period);
+  // Engine pre-sizing actuals (see EngineCapacities): a jump here between
+  // runs of the same configuration is a sizing regression.
+  os << ", \"capacities\": {\"event_queue_reserved\": "
+     << m.capacities.event_queue_reserved
+     << ", \"packet_pool_reserved\": " << m.capacities.packet_pool_reserved
+     << ", \"packet_pool_slots\": " << m.capacities.packet_pool_slots
+     << ", \"voq_cells\": " << m.capacities.voq_cells << "}";
   os << ", \"counters\": {";
   bool first = true;
   m.registry.for_each_counter([&](const std::string& name,

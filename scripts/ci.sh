@@ -11,10 +11,17 @@
 # resumed --json output to be byte-identical to an uninterrupted run (see
 # docs/durable_sweeps.md).
 #
+#
+# Stage 5 is a warn-only perf smoke: bench_micro_core --json against the
+# committed BENCH_core.json baseline with a +/-15% band. It prints a
+# regression table and never fails the build (CI machines are noisy; the
+# committed baseline is refreshed deliberately, see docs/perf.md).
+#
 #   scripts/ci.sh            # all stages, build trees under build-ci*/
 #   SKIP_TSAN=1 scripts/ci.sh
 #   SKIP_ASAN=1 scripts/ci.sh
 #   SKIP_RESUME=1 scripts/ci.sh
+#   SKIP_PERF=1 scripts/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -70,6 +77,39 @@ if [[ "${SKIP_RESUME:-0}" != "1" ]]; then
   diff <(normalize "$WORK/resumed.json") <(normalize "$WORK/full.json")
   diff <(normalize "$WORK/resumed.json") <(normalize "$WORK/clean.json")
   echo "resume drill OK: resumed output is byte-identical ($KEEP/$LINES journal lines survived the crash)"
+fi
+
+if [[ "${SKIP_PERF:-0}" != "1" ]]; then
+  echo "=== stage 5: perf smoke (warn-only, vs committed BENCH_core.json) ==="
+  if [[ ! -f BENCH_core.json ]]; then
+    echo "perf smoke skipped: no committed BENCH_core.json baseline"
+  else
+    cmake --build build-ci -j "$JOBS" --target bench_micro_core
+    ./build-ci/bench/bench_micro_core --json=build-ci/BENCH_core.json >/dev/null
+    # Extract one numeric field from a flat BENCH_core.json.
+    field() { sed -nE "s/.*\"$2\": ([0-9.]+).*/\1/p" "$1"; }
+    printf '%-26s %14s %14s %8s  %s\n' metric baseline current delta verdict
+    for key in events_per_sec_minimal events_per_sec_ugal ns_voq_push_pop \
+               ns_pool_alloc_release ns_csr_next_hops ns_event_queue_heap \
+               ns_event_queue_wheel; do
+      base=$(field BENCH_core.json "$key")
+      cur=$(field build-ci/BENCH_core.json "$key")
+      if [[ -z "$base" || -z "$cur" ]]; then
+        printf '%-26s %14s %14s %8s  %s\n' "$key" "${base:--}" "${cur:--}" - \
+          "MISSING (baseline schema drift?)"
+        continue
+      fi
+      # events/sec regress downward, ns/op regress upward.
+      awk -v key="$key" -v base="$base" -v cur="$cur" 'BEGIN {
+        delta = base > 0 ? (cur - base) / base * 100 : 0
+        worse = (key ~ /^events_per_sec/) ? -delta : delta
+        verdict = worse > 15 ? "REGRESSION (warn-only)" : "ok"
+        printf "%-26s %14s %14s %+7.1f%%  %s\n", key, base, cur, delta, verdict
+      }'
+    done
+    echo "perf smoke done (informational; refresh the baseline via" \
+         "bench_micro_core --json=BENCH_core.json on a quiet machine)"
+  fi
 fi
 
 echo "CI OK"

@@ -5,6 +5,13 @@
 // always active because the library's hot paths are event handlers whose
 // cost dwarfs a predictable branch, and a violated invariant in a network
 // simulator silently corrupts every downstream statistic.
+//
+// D2NET_HOT_ASSERT is the exception for the handful of per-event
+// invariants hot enough to measure (event-queue pop, VOQ link walks): it
+// stays fatal whenever NDEBUG is absent or D2NET_DEBUG_ASSERTS is defined
+// (Debug and sanitizer builds — scripts/ci.sh stages 2-3 run the suite
+// under both), and compiles to an optimizer unreachability hint in plain
+// release builds so the checked branch disappears entirely.
 #pragma once
 
 #include <sstream>
@@ -59,3 +66,12 @@ namespace detail {
       ::d2net::detail::throw_internal_error(#cond, __FILE__, __LINE__, (msg));        \
     }                                                                                 \
   } while (0)
+
+#if defined(D2NET_DEBUG_ASSERTS) || !defined(NDEBUG)
+#define D2NET_HOT_ASSERT(cond, msg) D2NET_ASSERT(cond, msg)
+#else
+#define D2NET_HOT_ASSERT(cond, msg)       \
+  do {                                    \
+    if (!(cond)) __builtin_unreachable(); \
+  } while (0)
+#endif

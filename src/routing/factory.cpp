@@ -70,16 +70,27 @@ std::unique_ptr<RoutingAlgorithm> make_routing(const Topology& topo, const Minim
 std::unique_ptr<RoutingAlgorithm> make_routing(const Topology& topo, const MinimalTable& table,
                                                RoutingStrategy strategy,
                                                const PortLoadProvider& loads,
-                                               const UgalParams& params) {
+                                               const UgalParams& params,
+                                               SharedIntermediates intermediates) {
   const VcPolicy policy = vc_policy_for(topo.kind());
+  // Routes are stored in the packets' fixed inline arrays: a healthy
+  // indirect route needs at most 2 * diameter + 1 routers. (Fault salvage
+  // can stretch routes further; the simulator clamps its hop limit to the
+  // same capacity.)
+  D2NET_REQUIRE(2 * table.diameter() + 1 <= Route::kMaxRouters,
+                "topology diameter exceeds the inline route capacity");
+  auto vias = [&]() -> SharedIntermediates {
+    if (intermediates != nullptr) return std::move(intermediates);
+    return std::make_shared<const std::vector<int>>(valiant_intermediates(topo));
+  };
   switch (strategy) {
     case RoutingStrategy::kMinimal:
       return std::make_unique<MinimalRouting>(table, policy);
     case RoutingStrategy::kValiant:
-      return std::make_unique<ValiantRouting>(table, policy, valiant_intermediates(topo));
+      return std::make_unique<ValiantRouting>(table, policy, vias());
     case RoutingStrategy::kUgalGlobal:
-      return std::make_unique<UgalGlobalRouting>(table, policy, valiant_intermediates(topo),
-                                                 params.num_indirect, params.c, loads);
+      return std::make_unique<UgalGlobalRouting>(table, policy, vias(), params.num_indirect,
+                                                 params.c, loads);
     case RoutingStrategy::kUgal:
     case RoutingStrategy::kUgalThreshold: {
       UgalParams p = params;
@@ -87,8 +98,7 @@ std::unique_ptr<RoutingAlgorithm> make_routing(const Topology& topo, const Minim
       if (strategy == RoutingStrategy::kUgal) p.threshold = -1.0;
       std::string label = std::string(to_string(topo.kind())) +
                           (strategy == RoutingStrategy::kUgal ? "-A" : "-ATh");
-      return std::make_unique<UgalRouting>(table, policy, valiant_intermediates(topo), p, loads,
-                                           std::move(label));
+      return std::make_unique<UgalRouting>(table, policy, vias(), p, loads, std::move(label));
     }
   }
   D2NET_ASSERT(false, "unreachable");

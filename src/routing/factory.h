@@ -11,6 +11,7 @@
 
 #include "routing/routing_algorithm.h"
 #include "routing/ugal_routing.h"
+#include "routing/valiant_routing.h"
 #include "topology/topology.h"
 
 namespace d2net {
@@ -38,13 +39,16 @@ UgalParams default_ugal_params(TopologyKind kind, bool threshold);
 /// Builds a routing algorithm. `topo`, `table` and `loads` must outlive the
 /// returned object. For oblivious strategies `loads` may be a
 /// ZeroLoadProvider. Pass `params` to override the defaults (ignored for
-/// oblivious strategies).
+/// oblivious strategies). Pass `intermediates` to share one precomputed
+/// Valiant candidate set across many algorithm instances (the parallel
+/// sweep runner builds it once per topology); null builds a private copy.
 std::unique_ptr<RoutingAlgorithm> make_routing(const Topology& topo, const MinimalTable& table,
                                                RoutingStrategy strategy,
                                                const PortLoadProvider& loads);
 std::unique_ptr<RoutingAlgorithm> make_routing(const Topology& topo, const MinimalTable& table,
                                                RoutingStrategy strategy,
                                                const PortLoadProvider& loads,
-                                               const UgalParams& params);
+                                               const UgalParams& params,
+                                               SharedIntermediates intermediates = nullptr);
 
 }  // namespace d2net

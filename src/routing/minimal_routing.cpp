@@ -7,12 +7,6 @@ namespace d2net {
 MinimalRouting::MinimalRouting(const MinimalTable& table, VcPolicy policy)
     : table_(table), policy_(policy) {}
 
-Route MinimalRouting::route(int src_router, int dst_router, Rng& rng) const {
-  Route r;
-  route_into(src_router, dst_router, rng, r);
-  return r;
-}
-
 void MinimalRouting::route_into(int src_router, int dst_router, Rng& rng, Route& out) const {
   D2NET_REQUIRE(src_router != dst_router, "route() needs distinct routers");
   if (table_.distance(src_router, dst_router) < 0) {

@@ -16,7 +16,6 @@ class MinimalRouting final : public RoutingAlgorithm {
   /// `table` must outlive the algorithm.
   MinimalRouting(const MinimalTable& table, VcPolicy policy);
 
-  Route route(int src_router, int dst_router, Rng& rng) const override;
   void route_into(int src_router, int dst_router, Rng& rng, Route& out) const override;
   int num_vcs() const override;
   std::string name() const override { return "MIN"; }

@@ -129,18 +129,6 @@ std::vector<int> MinimalTable::sample_path(int a, int b, Rng& rng) const {
   return path;
 }
 
-void MinimalTable::sample_path_into(int a, int b, Rng& rng, std::vector<int>& out) const {
-  out.clear();
-  out.push_back(a);
-  int cur = a;
-  while (cur != b) {
-    const auto nh = next_hops(cur, b);
-    D2NET_ASSERT(!nh.empty(), "no next hop on minimal path");
-    cur = nh[rng.next_below(nh.size())];
-    out.push_back(cur);
-  }
-}
-
 void MinimalTable::enumerate_paths(int a, int b, std::vector<std::vector<int>>& out) const {
   std::vector<int> stack{a};
   // Iterative DFS over the shortest-path DAG.

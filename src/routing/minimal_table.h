@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "common/error.h"
 #include "common/rng.h"
 
 namespace d2net {
@@ -62,7 +63,28 @@ class MinimalTable {
 
   /// Allocation-free variant: writes the sampled path into `out` (cleared
   /// first, capacity reused) for the simulator's per-packet hot path.
-  void sample_path_into(int a, int b, Rng& rng, std::vector<int>& out) const;
+  /// `Path` is any push_back/clear container (std::vector, the Route's
+  /// InlineVec); the RNG draw sequence is identical for all of them.
+  template <typename Path>
+  void sample_path_into(int a, int b, Rng& rng, Path& out) const {
+    out.clear();
+    out.push_back(a);
+    sample_path_append(a, b, rng, out);
+  }
+
+  /// Appends the remaining hops of one sampled minimal path cur -> b
+  /// (excluding `cur`, which the caller already recorded). Same RNG draws
+  /// as sample_path_into from `cur` — the routing algorithms splice route
+  /// segments with this without changing any random stream.
+  template <typename Path>
+  void sample_path_append(int cur, int b, Rng& rng, Path& out) const {
+    while (cur != b) {
+      const auto nh = next_hops(cur, b);
+      D2NET_ASSERT(!nh.empty(), "no next hop on minimal path");
+      cur = nh[rng.next_below(nh.size())];
+      out.push_back(cur);
+    }
+  }
 
   /// Appends all minimal paths a -> b to `out` (each path includes both
   /// endpoints). Exponential in principle but bounded by the tiny path

@@ -59,14 +59,16 @@ class RoutingAlgorithm {
  public:
   virtual ~RoutingAlgorithm() = default;
 
-  /// Computes a route from src_router to dst_router (src != dst).
-  virtual Route route(int src_router, int dst_router, Rng& rng) const = 0;
+  /// Writes the route from src_router to dst_router (src != dst) into `out`
+  /// (overwritten, not appended). This is the simulator's per-packet entry
+  /// point; with the inline-array Route it never allocates.
+  virtual void route_into(int src_router, int dst_router, Rng& rng, Route& out) const = 0;
 
-  /// Writes the route into `out` (cleared first), reusing its vector
-  /// capacity. The default falls back to route(); hot-path algorithms
-  /// override it to avoid the per-packet allocation.
-  virtual void route_into(int src_router, int dst_router, Rng& rng, Route& out) const {
-    out = route(src_router, dst_router, rng);
+  /// Convenience wrapper for tests and analysis code.
+  Route route(int src_router, int dst_router, Rng& rng) const {
+    Route out;
+    route_into(src_router, dst_router, rng, out);
+    return out;
   }
 
   /// Upper bound on VC indices this algorithm emits, for simulator sizing.

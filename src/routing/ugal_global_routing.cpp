@@ -5,7 +5,7 @@
 namespace d2net {
 
 UgalGlobalRouting::UgalGlobalRouting(const MinimalTable& table, VcPolicy policy,
-                                     std::vector<int> intermediates, int num_indirect,
+                                     SharedIntermediates intermediates, int num_indirect,
                                      double c, const PortLoadProvider& loads)
     : table_(table),
       policy_(policy),
@@ -14,60 +14,63 @@ UgalGlobalRouting::UgalGlobalRouting(const MinimalTable& table, VcPolicy policy,
       c_(c),
       loads_(loads) {
   D2NET_REQUIRE(num_indirect_ >= 1, "UGAL-G needs at least one indirect candidate");
-  D2NET_REQUIRE(intermediates_.size() >= 3, "UGAL-G needs at least three intermediates");
+  D2NET_REQUIRE(intermediates_ != nullptr && intermediates_->size() >= 3,
+                "UGAL-G needs at least three intermediates");
 }
 
-std::int64_t UgalGlobalRouting::path_cost(const std::vector<int>& routers) const {
+std::int64_t UgalGlobalRouting::path_cost(const int* routers, std::size_t n) const {
   std::int64_t cost = 0;
-  for (std::size_t i = 0; i + 1 < routers.size(); ++i) {
+  for (std::size_t i = 0; i + 1 < n; ++i) {
     cost += loads_.output_queue_bytes(routers[i], routers[i + 1]);
   }
   return cost;
 }
 
-Route UgalGlobalRouting::route(int src_router, int dst_router, Rng& rng) const {
+void UgalGlobalRouting::route_into(int src_router, int dst_router, Rng& rng,
+                                   Route& out) const {
   D2NET_REQUIRE(src_router != dst_router, "route() needs distinct routers");
+  out.routers.clear();
+  out.vcs.clear();
+  out.intermediate_pos = -1;
   if (table_.distance(src_router, dst_router) < 0) {
     // Destination unreachable on the (fault-degraded) table: an empty route
     // tells the simulator to drop or retry the packet.
-    return Route{};
+    return;
   }
 
-  std::vector<int> best_path = table_.sample_path(src_router, dst_router, rng);
-  double best_cost = static_cast<double>(path_cost(best_path));
-  int best_intermediate_pos = -1;
+  // Best-so-far path accumulates directly in `out`; candidates build in an
+  // inline scratch of the same capacity (no heap traffic per decision).
+  table_.sample_path_into(src_router, dst_router, rng, out.routers);
+  double best_cost = static_cast<double>(path_cost(out.routers.begin(), out.routers.size()));
 
+  InlineVec<int, Route::kMaxRouters> candidate;
+  const std::vector<int>& vias = *intermediates_;
   for (int j = 0; j < num_indirect_; ++j) {
     // Same RNG stream as before on a healthy table (see UgalRouting).
     int via = -1;
     int broken_draws = 0;
     do {
-      const int cand = intermediates_[rng.next_below(intermediates_.size())];
+      const int cand = vias[rng.next_below(vias.size())];
       if (cand == src_router || cand == dst_router) continue;
       if (table_.distance(src_router, cand) < 0 || table_.distance(cand, dst_router) < 0) {
-        if (++broken_draws >= 2 * static_cast<int>(intermediates_.size())) break;
+        if (++broken_draws >= 2 * static_cast<int>(vias.size())) break;
         continue;
       }
       via = cand;
     } while (via < 0);
     if (via < 0) continue;
-    std::vector<int> candidate = table_.sample_path(src_router, via, rng);
+    table_.sample_path_into(src_router, via, rng, candidate);
     const int via_pos = static_cast<int>(candidate.size()) - 1;
-    const std::vector<int> second = table_.sample_path(via, dst_router, rng);
-    candidate.insert(candidate.end(), second.begin() + 1, second.end());
-    const double cost = c_ * static_cast<double>(path_cost(candidate));
+    table_.sample_path_append(via, dst_router, rng, candidate);
+    const double cost = c_ * static_cast<double>(path_cost(candidate.begin(), candidate.size()));
     if (cost < best_cost) {  // strict: minimal wins ties
       best_cost = cost;
-      best_path = std::move(candidate);
-      best_intermediate_pos = via_pos;
+      out.routers = candidate;
+      out.intermediate_pos = via_pos;
     }
   }
 
-  Route r;
-  r.routers = std::move(best_path);
-  r.intermediate_pos = best_intermediate_pos;
-  assign_vcs(r, policy_);
-  return r;
+  assign_vcs(out, policy_);
 }
 
 int UgalGlobalRouting::num_vcs() const {

@@ -10,30 +10,39 @@
 // upper bound on what adaptivity can achieve.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "routing/minimal_table.h"
 #include "routing/routing_algorithm.h"
+#include "routing/valiant_routing.h"
 
 namespace d2net {
 
 class UgalGlobalRouting final : public RoutingAlgorithm {
  public:
-  UgalGlobalRouting(const MinimalTable& table, VcPolicy policy, std::vector<int> intermediates,
-                    int num_indirect, double c, const PortLoadProvider& loads);
+  UgalGlobalRouting(const MinimalTable& table, VcPolicy policy,
+                    SharedIntermediates intermediates, int num_indirect, double c,
+                    const PortLoadProvider& loads);
+  UgalGlobalRouting(const MinimalTable& table, VcPolicy policy,
+                    std::vector<int> intermediates, int num_indirect, double c,
+                    const PortLoadProvider& loads)
+      : UgalGlobalRouting(table, policy,
+                          std::make_shared<const std::vector<int>>(std::move(intermediates)),
+                          num_indirect, c, loads) {}
 
-  Route route(int src_router, int dst_router, Rng& rng) const override;
+  void route_into(int src_router, int dst_router, Rng& rng, Route& out) const override;
   int num_vcs() const override;
   std::string name() const override { return "UGAL-G"; }
 
  private:
   /// Sum of output-queue occupancies along a concrete router path.
-  std::int64_t path_cost(const std::vector<int>& routers) const;
+  std::int64_t path_cost(const int* routers, std::size_t n) const;
 
   const MinimalTable& table_;
   VcPolicy policy_;
-  std::vector<int> intermediates_;
+  SharedIntermediates intermediates_;
   int num_indirect_;
   double c_;
   const PortLoadProvider& loads_;

@@ -5,7 +5,7 @@
 namespace d2net {
 
 UgalRouting::UgalRouting(const MinimalTable& table, VcPolicy policy,
-                         std::vector<int> intermediates, const UgalParams& params,
+                         SharedIntermediates intermediates, const UgalParams& params,
                          const PortLoadProvider& loads, std::string name)
     : table_(table),
       policy_(policy),
@@ -14,11 +14,15 @@ UgalRouting::UgalRouting(const MinimalTable& table, VcPolicy policy,
       loads_(loads),
       name_(std::move(name)) {
   D2NET_REQUIRE(params_.num_indirect >= 1, "UGAL needs at least one indirect candidate");
-  D2NET_REQUIRE(intermediates_.size() >= 3, "UGAL needs at least three intermediates");
+  D2NET_REQUIRE(intermediates_ != nullptr && intermediates_->size() >= 3,
+                "UGAL needs at least three intermediates");
 }
 
-Route UgalRouting::route(int src_router, int dst_router, Rng& rng) const {
+void UgalRouting::route_into(int src_router, int dst_router, Rng& rng, Route& out) const {
   D2NET_REQUIRE(src_router != dst_router, "route() needs distinct routers");
+  out.routers.clear();
+  out.vcs.clear();
+  out.intermediate_pos = -1;
 
   // Minimal candidate: among equally short first hops pick the least-loaded
   // output queue (footnote 1 of the paper permits lowest-cost selection).
@@ -26,7 +30,7 @@ Route UgalRouting::route(int src_router, int dst_router, Rng& rng) const {
   if (nh.empty()) {
     // Destination unreachable on the (fault-degraded) table: an empty route
     // tells the simulator to drop or retry the packet.
-    return Route{};
+    return;
   }
   int min_first = nh[0];
   std::int64_t q_min = loads_.output_queue_bytes(src_router, nh[0]);
@@ -39,23 +43,23 @@ Route UgalRouting::route(int src_router, int dst_router, Rng& rng) const {
   }
 
   auto make_minimal = [&] {
-    Route r;
-    r.routers.push_back(src_router);
-    r.routers.push_back(min_first);
+    out.routers.push_back(src_router);
+    out.routers.push_back(min_first);
     if (min_first != dst_router) {
-      const std::vector<int> rest = table_.sample_path(min_first, dst_router, rng);
-      r.routers.insert(r.routers.end(), rest.begin() + 1, rest.end());
+      table_.sample_path_append(min_first, dst_router, rng, out.routers);
     }
-    r.intermediate_pos = -1;
-    assign_vcs(r, policy_);
-    return r;
+    out.intermediate_pos = -1;
+    assign_vcs(out, policy_);
   };
 
   // Threshold variant: minimal whenever the local queue is nearly empty.
   if (params_.threshold >= 0.0) {
     const auto limit = static_cast<std::int64_t>(params_.threshold *
                                                  static_cast<double>(loads_.output_queue_capacity()));
-    if (q_min < limit) return make_minimal();
+    if (q_min < limit) {
+      make_minimal();
+      return;
+    }
   }
 
   const double len_min = static_cast<double>(table_.distance(src_router, dst_router));
@@ -64,6 +68,7 @@ Route UgalRouting::route(int src_router, int dst_router, Rng& rng) const {
   // Indirect candidates. The cost is read on a concrete first hop; the
   // winning route is then built through that same first hop so the decision
   // and the traffic agree.
+  const std::vector<int>& vias = *intermediates_;
   double best_cost = cost_min;
   int best_via = -1;
   int best_first = -1;
@@ -74,10 +79,10 @@ Route UgalRouting::route(int src_router, int dst_router, Rng& rng) const {
     int via = -1;
     int broken_draws = 0;
     do {
-      const int cand = intermediates_[rng.next_below(intermediates_.size())];
+      const int cand = vias[rng.next_below(vias.size())];
       if (cand == src_router || cand == dst_router) continue;
       if (table_.distance(src_router, cand) < 0 || table_.distance(cand, dst_router) < 0) {
-        if (++broken_draws >= 2 * static_cast<int>(intermediates_.size())) break;
+        if (++broken_draws >= 2 * static_cast<int>(vias.size())) break;
         continue;
       }
       via = cand;
@@ -102,21 +107,20 @@ Route UgalRouting::route(int src_router, int dst_router, Rng& rng) const {
     }
   }
 
-  if (best_via < 0) return make_minimal();
-  Route r;
-  r.routers.push_back(src_router);
-  r.routers.push_back(best_first);
+  if (best_via < 0) {
+    make_minimal();
+    return;
+  }
+  out.routers.push_back(src_router);
+  out.routers.push_back(best_first);
   if (best_first != best_via) {
-    const std::vector<int> to_via = table_.sample_path(best_first, best_via, rng);
-    r.routers.insert(r.routers.end(), to_via.begin() + 1, to_via.end());
+    table_.sample_path_append(best_first, best_via, rng, out.routers);
   }
-  r.intermediate_pos = static_cast<int>(r.routers.size()) - 1;
+  out.intermediate_pos = static_cast<int>(out.routers.size()) - 1;
   if (best_via != dst_router) {
-    const std::vector<int> to_dst = table_.sample_path(best_via, dst_router, rng);
-    r.routers.insert(r.routers.end(), to_dst.begin() + 1, to_dst.end());
+    table_.sample_path_append(best_via, dst_router, rng, out.routers);
   }
-  assign_vcs(r, policy_);
-  return r;
+  assign_vcs(out, policy_);
 }
 
 int UgalRouting::num_vcs() const {

@@ -11,11 +11,13 @@
 //     queue occupancy is below T (a fraction of the queue capacity).
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "routing/minimal_table.h"
 #include "routing/routing_algorithm.h"
+#include "routing/valiant_routing.h"
 
 namespace d2net {
 
@@ -29,10 +31,15 @@ struct UgalParams {
 class UgalRouting final : public RoutingAlgorithm {
  public:
   /// `table` and `loads` must outlive the algorithm.
-  UgalRouting(const MinimalTable& table, VcPolicy policy, std::vector<int> intermediates,
+  UgalRouting(const MinimalTable& table, VcPolicy policy, SharedIntermediates intermediates,
               const UgalParams& params, const PortLoadProvider& loads, std::string name);
+  UgalRouting(const MinimalTable& table, VcPolicy policy, std::vector<int> intermediates,
+              const UgalParams& params, const PortLoadProvider& loads, std::string name)
+      : UgalRouting(table, policy,
+                    std::make_shared<const std::vector<int>>(std::move(intermediates)),
+                    params, loads, std::move(name)) {}
 
-  Route route(int src_router, int dst_router, Rng& rng) const override;
+  void route_into(int src_router, int dst_router, Rng& rng, Route& out) const override;
   int num_vcs() const override;
   std::string name() const override { return name_; }
 
@@ -41,7 +48,7 @@ class UgalRouting final : public RoutingAlgorithm {
  private:
   const MinimalTable& table_;
   VcPolicy policy_;
-  std::vector<int> intermediates_;
+  SharedIntermediates intermediates_;
   UgalParams params_;
   const PortLoadProvider& loads_;
   std::string name_;

@@ -22,53 +22,49 @@ std::vector<int> valiant_intermediates(const Topology& topo) {
 }
 
 ValiantRouting::ValiantRouting(const MinimalTable& table, VcPolicy policy,
-                               std::vector<int> intermediates)
+                               SharedIntermediates intermediates)
     : table_(table), policy_(policy), intermediates_(std::move(intermediates)) {
-  D2NET_REQUIRE(intermediates_.size() >= 3,
+  D2NET_REQUIRE(intermediates_ != nullptr && intermediates_->size() >= 3,
                 "Valiant needs at least three eligible intermediate routers");
 }
 
-Route ValiantRouting::make_indirect(const MinimalTable& table, VcPolicy policy, int src,
-                                    int via, int dst, Rng& rng) {
-  Route r;
-  r.routers = table.sample_path(src, via, rng);
-  r.intermediate_pos = static_cast<int>(r.routers.size()) - 1;
-  const std::vector<int> second = table.sample_path(via, dst, rng);
-  r.routers.insert(r.routers.end(), second.begin() + 1, second.end());
-  assign_vcs(r, policy);
-  return r;
-}
-
-Route ValiantRouting::route(int src_router, int dst_router, Rng& rng) const {
+void ValiantRouting::route_into(int src_router, int dst_router, Rng& rng, Route& out) const {
   D2NET_REQUIRE(src_router != dst_router, "route() needs distinct routers");
+  out.routers.clear();
+  out.vcs.clear();
+  out.intermediate_pos = -1;
   if (table_.distance(src_router, dst_router) < 0) {
     // Destination unreachable on the (fault-degraded) table: an empty route
     // tells the simulator to drop or retry the packet.
-    return Route{};
+    return;
   }
   // Draw an intermediate other than the source and destination routers.
   // Redraws on src/dst behave exactly as before (same RNG stream on a
   // healthy table); draws whose segments a fault broke count toward a
   // bounded budget, falling back to the minimal path when exhausted.
+  const std::vector<int>& vias = *intermediates_;
   int via = -1;
   int broken_draws = 0;
   do {
-    const int cand = intermediates_[rng.next_below(intermediates_.size())];
+    const int cand = vias[rng.next_below(vias.size())];
     if (cand == src_router || cand == dst_router) continue;
     if (table_.distance(src_router, cand) < 0 || table_.distance(cand, dst_router) < 0) {
-      if (++broken_draws >= 2 * static_cast<int>(intermediates_.size())) break;
+      if (++broken_draws >= 2 * static_cast<int>(vias.size())) break;
       continue;
     }
     via = cand;
   } while (via < 0);
   if (via < 0) {
-    Route r;
-    r.routers = table_.sample_path(src_router, dst_router, rng);
-    r.intermediate_pos = -1;
-    assign_vcs(r, policy_);
-    return r;
+    table_.sample_path_into(src_router, dst_router, rng, out.routers);
+    assign_vcs(out, policy_);
+    return;
   }
-  return make_indirect(table_, policy_, src_router, via, dst_router, rng);
+  // Two minimal segments through the intermediate, spliced in place (same
+  // per-hop RNG draws as sampling each segment separately).
+  table_.sample_path_into(src_router, via, rng, out.routers);
+  out.intermediate_pos = static_cast<int>(out.routers.size()) - 1;
+  table_.sample_path_append(via, dst_router, rng, out.routers);
+  assign_vcs(out, policy_);
 }
 
 int ValiantRouting::num_vcs() const {

@@ -6,6 +6,7 @@
 // exactly 4 hops and keeps load balancing effective (Section 3.2).
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,25 +21,29 @@ class Topology;
 /// all routers for direct topologies, endpoint-attached routers otherwise.
 std::vector<int> valiant_intermediates(const Topology& topo);
 
+/// Shared, immutable form of the same set: built once per topology and
+/// handed to every algorithm instance (the parallel sweep runner constructs
+/// one routing stack per in-flight point, all referencing one copy).
+using SharedIntermediates = std::shared_ptr<const std::vector<int>>;
+
 class ValiantRouting final : public RoutingAlgorithm {
  public:
   /// `table` must outlive the algorithm; `intermediates` must be non-empty
   /// beyond {src, dst} for every pair (guaranteed by the studied networks).
-  ValiantRouting(const MinimalTable& table, VcPolicy policy, std::vector<int> intermediates);
+  ValiantRouting(const MinimalTable& table, VcPolicy policy,
+                 SharedIntermediates intermediates);
+  ValiantRouting(const MinimalTable& table, VcPolicy policy, std::vector<int> intermediates)
+      : ValiantRouting(table, policy,
+                       std::make_shared<const std::vector<int>>(std::move(intermediates))) {}
 
-  Route route(int src_router, int dst_router, Rng& rng) const override;
+  void route_into(int src_router, int dst_router, Rng& rng, Route& out) const override;
   int num_vcs() const override;
   std::string name() const override { return "INR"; }
-
-  /// Builds the concatenated two-segment route through `via`; shared with
-  /// UGAL's candidate construction.
-  static Route make_indirect(const MinimalTable& table, VcPolicy policy, int src, int via,
-                             int dst, Rng& rng);
 
  private:
   const MinimalTable& table_;
   VcPolicy policy_;
-  std::vector<int> intermediates_;
+  SharedIntermediates intermediates_;
 };
 
 }  // namespace d2net

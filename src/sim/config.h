@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "common/units.h"
+#include "sim/event_queue.h"
 #include "sim/fault.h"
 
 namespace d2net {
@@ -40,6 +41,18 @@ struct SimConfig {
   /// still hold whole packets (VCT, not wormhole). Default keeps
   /// store-and-forward for strict conservatism.
   bool cut_through = false;
+
+  /// Event-scheduling structure (see sim/event_queue.h). Both realize the
+  /// exact same (time, seq) event order — runs are bit-identical either way
+  /// (enforced by tests/test_determinism_digest.cpp); the wheel is faster
+  /// at saturation, the heap is the cross-check reference.
+  SchedulerKind scheduler = SchedulerKind::kWheel;
+
+  /// Fold an FNV-1a digest over the dispatched event stream (time, seq,
+  /// type, operands; sampling/watchdog ticks excluded like they are from
+  /// events_processed). Costs a few ns per event — off outside determinism
+  /// tests. The digest lands on OpenLoopResult/ExchangeResult.
+  bool collect_event_digest = false;
 
   MetricsConfig metrics;
 

@@ -1,14 +1,35 @@
 // Discrete-event core: a time-ordered queue with a deterministic FIFO
 // tie-break so identical seeds replay identical packet traces.
 //
-// Implemented as an implicit 4-ary min-heap over a flat vector instead of
-// std::priority_queue's binary heap: the shallower tree halves the number
-// of cache lines touched per sift and the 32-byte Event packs two siblings
-// per line, which is worth ~20-30% on the simulator's dominant push/pop
-// cycle (see bench_micro_core BM_EventQueue*).
+// Two interchangeable scheduling structures live behind one interface,
+// selected by set_scheduler() (driven by SimConfig::scheduler):
+//
+//  * SchedulerKind::kHeap — an implicit 4-ary min-heap over a flat vector.
+//    The shallow tree halves the cache lines touched per sift relative to
+//    std::priority_queue's binary heap, and the 32-byte Event packs two
+//    siblings per line. pop()/push() sift with a hole instead of swapping,
+//    so each level moves one Event instead of three.
+//
+//  * SchedulerKind::kWheel — a two-level bucketed near-future wheel in
+//    front of that same heap (calendar/ladder-queue style). Level 1 is a
+//    ring of 64 buckets of 2^12 ps (~4 ns) each; level 2 is a ring of 64
+//    buckets of 2^18 ps (~262 ns, exactly one full L1 span) each; events
+//    beyond the ~16.8 us L2 horizon overflow into the heap. Pops consume a
+//    sorted "active bucket"; pushes are O(1) ring appends except for the
+//    rare push into the active bucket itself, which insertion-sorts into
+//    the unconsumed tail. Nearly every event a saturated simulation
+//    schedules (serialization ends, head eligibility, credit returns)
+//    lands within a few L1 buckets of `now`, so steady-state cost is a
+//    ring append plus an amortized small sort instead of an O(log n) sift.
+//
+// Both schedulers realize the exact same (time, seq) total order, so a run
+// is bit-identical under either — enforced by tests/test_determinism_digest
+// via an FNV-1a digest of the full dispatched event stream.
 #pragma once
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -51,74 +72,279 @@ struct Event {
   std::int32_t d = 0;
 };
 
+/// Which scheduling structure EventQueue uses (see the file comment).
+enum class SchedulerKind : std::uint8_t {
+  kHeap,   ///< 4-ary implicit min-heap only
+  kWheel,  ///< two-level bucketed wheel + heap overflow
+};
+
 class EventQueue {
  public:
+  /// Selects the scheduling structure; only valid while the queue is empty
+  /// (NetworkSim calls it once at construction from SimConfig::scheduler).
+  void set_scheduler(SchedulerKind kind) {
+    D2NET_REQUIRE(size_ == 0, "set_scheduler() on a non-empty EventQueue");
+    kind_ = kind;
+  }
+  SchedulerKind scheduler() const { return kind_; }
+
   void push(TimePs time, EventType type, std::int32_t a = 0, std::int32_t b = 0,
             std::int32_t c = 0, std::int32_t d = 0) {
-    heap_.push_back(Event{time, next_seq_++, type, a, b, c, d});
-    sift_up(heap_.size() - 1);
+    const Event e{time, next_seq_++, type, a, b, c, d};
+    ++size_;
+    if (kind_ == SchedulerKind::kHeap) {
+      push_heap(e);
+      return;
+    }
+    if (size_ == 1) reanchor(time);
+    if (time < l1_start_) {
+      // Lands in (or before) the active bucket: insertion-sort into the
+      // unconsumed tail. The new event carries the largest seq, so
+      // upper_bound lands at/after cur_pos_ (no pending event precedes an
+      // already-popped time).
+      cur_.insert(std::upper_bound(cur_.begin() + static_cast<std::ptrdiff_t>(cur_pos_),
+                                   cur_.end(), e, before),
+                  e);
+    } else if (time < l1_limit_) {
+      const std::size_t b1 = l1_bucket(time);
+      l1_[b1].push_back(e);
+      l1_mask_ |= std::uint64_t{1} << b1;
+    } else if (time < l2_start_ + kL2Span) {
+      const std::size_t b2 = l2_bucket(time);
+      l2_[b2].push_back(e);
+      l2_mask_ |= std::uint64_t{1} << b2;
+    } else {
+      push_heap(e);
+    }
   }
 
-  bool empty() const { return heap_.empty(); }
-  std::size_t size() const { return heap_.size(); }
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
 
   Event pop() {
-    D2NET_ASSERT(!heap_.empty(), "pop() on empty EventQueue");
-    Event top = heap_.front();
-    heap_.front() = heap_.back();
-    heap_.pop_back();
-    if (!heap_.empty()) sift_down(0);
-    return top;
+    D2NET_HOT_ASSERT(size_ > 0, "pop() on empty EventQueue");
+    --size_;
+    if (kind_ == SchedulerKind::kHeap) return pop_heap();
+    if (cur_pos_ >= cur_.size()) advance();
+    return cur_[cur_pos_++];
   }
 
-  TimePs next_time() const {
-    D2NET_ASSERT(!heap_.empty(), "next_time() on empty EventQueue");
-    return heap_.front().time;
+  /// Earliest pending event time. Non-const because the wheel may need to
+  /// surface the next bucket first (pure scheduling work, no observable
+  /// state change).
+  TimePs next_time() {
+    D2NET_HOT_ASSERT(size_ > 0, "next_time() on empty EventQueue");
+    if (kind_ == SchedulerKind::kHeap) return heap_.front().time;
+    if (cur_pos_ >= cur_.size()) advance();
+    return cur_[cur_pos_].time;
   }
 
-  /// Pre-sizes the backing store (one sim reuses the queue across runs).
-  void reserve(std::size_t n) { heap_.reserve(n); }
+  /// Pre-sizes the backing stores (one sim reuses the queue across runs).
+  void reserve(std::size_t n) {
+    heap_.reserve(n);
+    if (kind_ == SchedulerKind::kWheel) {
+      // At saturation one L1 bucket holds a small slice of the pending set;
+      // reserve a fraction so early runs do not grow buckets one push at a
+      // time.
+      const std::size_t per_bucket = std::max<std::size_t>(n / (kL1Buckets * 4), 8);
+      cur_.reserve(per_bucket * 2);
+      for (auto& b : l1_) b.reserve(per_bucket);
+    }
+  }
+
+  /// Event slots the primary backing store holds before reallocating (the
+  /// heap in heap mode; overflow-heap capacity in wheel mode, which
+  /// reserve() sizes identically). Exposed through EngineCapacities.
+  std::size_t reserved() const { return heap_.capacity(); }
 
   /// Drops all pending events but keeps the allocated capacity and the
   /// monotone sequence counter (seq only ever breaks same-time ties, so
   /// continuing it across runs cannot change any ordering).
-  void clear() { heap_.clear(); }
+  void clear() {
+    heap_.clear();
+    cur_.clear();
+    cur_pos_ = 0;
+    if (l1_mask_ != 0) {
+      for (auto& b : l1_) b.clear();
+      l1_mask_ = 0;
+    }
+    if (l2_mask_ != 0) {
+      for (auto& b : l2_) b.clear();
+      l2_mask_ = 0;
+    }
+    l1_start_ = l1_limit_ = l2_start_ = 0;
+    size_ = 0;
+  }
 
  private:
   static constexpr std::size_t kArity = 4;
+
+  // Wheel geometry: W2 == kL1Buckets * W1 so expanding one L2 bucket fills
+  // exactly one full L1 ring span.
+  static constexpr int kL1Shift = 12;  ///< W1 = 2^12 ps ~ 4 ns
+  static constexpr int kL2Shift = 18;  ///< W2 = 2^18 ps ~ 262 ns
+  static constexpr std::size_t kL1Buckets = 64;
+  static constexpr std::size_t kL2Buckets = 64;
+  static constexpr TimePs kW1 = TimePs{1} << kL1Shift;
+  static constexpr TimePs kW2 = TimePs{1} << kL2Shift;
+  static constexpr TimePs kL2Span = kW2 * static_cast<TimePs>(kL2Buckets);
+  static_assert(kW2 == kW1 * static_cast<TimePs>(kL1Buckets));
 
   static bool before(const Event& x, const Event& y) {
     if (x.time != y.time) return x.time < y.time;
     return x.seq < y.seq;
   }
 
-  void sift_up(std::size_t i) {
+  static std::size_t l1_bucket(TimePs t) {
+    return static_cast<std::size_t>(t >> kL1Shift) & (kL1Buckets - 1);
+  }
+  static std::size_t l2_bucket(TimePs t) {
+    return static_cast<std::size_t>(t >> kL2Shift) & (kL2Buckets - 1);
+  }
+
+  /// First set ring position at or after `from` (ring order), or npos.
+  static std::size_t next_set_bit(std::uint64_t mask, std::size_t from) {
+    const std::uint64_t rotated = std::rotr(mask, static_cast<int>(from));
+    if (rotated == 0) return static_cast<std::size_t>(-1);
+    return (from + static_cast<std::size_t>(std::countr_zero(rotated))) % 64;
+  }
+
+  // --- heap primitives (hole-based sifts: one Event moved per level) ---
+
+  void push_heap(const Event& e) {
+    heap_.push_back(e);
+    std::size_t i = heap_.size() - 1;
     while (i > 0) {
       const std::size_t parent = (i - 1) / kArity;
-      if (!before(heap_[i], heap_[parent])) break;
-      std::swap(heap_[i], heap_[parent]);
+      if (!before(e, heap_[parent])) break;
+      heap_[i] = heap_[parent];
       i = parent;
     }
+    heap_[i] = e;
   }
 
-  void sift_down(std::size_t i) {
+  Event pop_heap() {
+    const Event top = heap_.front();
+    const Event last = heap_.back();
+    heap_.pop_back();
     const std::size_t n = heap_.size();
-    for (;;) {
-      const std::size_t first = kArity * i + 1;
-      if (first >= n) break;
-      const std::size_t last = std::min(first + kArity, n);
-      std::size_t best = first;
-      for (std::size_t c = first + 1; c < last; ++c) {
-        if (before(heap_[c], heap_[best])) best = c;
+    if (n > 0) {
+      std::size_t i = 0;
+      for (;;) {
+        const std::size_t first = kArity * i + 1;
+        if (first >= n) break;
+        const std::size_t end = std::min(first + kArity, n);
+        std::size_t best = first;
+        for (std::size_t c = first + 1; c < end; ++c) {
+          if (before(heap_[c], heap_[best])) best = c;
+        }
+        if (!before(heap_[best], last)) break;
+        heap_[i] = heap_[best];
+        i = best;
       }
-      if (!before(heap_[best], heap_[i])) break;
-      std::swap(heap_[i], heap_[best]);
-      i = best;
+      heap_[i] = last;
+    }
+    return top;
+  }
+
+  // --- wheel machinery ---
+
+  /// Re-anchors the (empty) wheel windows around the first pending time.
+  void reanchor(TimePs t) {
+    cur_.clear();
+    cur_pos_ = 0;
+    l1_start_ = (t >> kL1Shift) << kL1Shift;
+    l1_limit_ = ((t >> kL2Shift) + 1) << kL2Shift;
+    l2_start_ = l1_limit_;
+  }
+
+  /// Makes cur_[cur_pos_] the globally earliest pending event. Called only
+  /// with size_ accounting for at least one pending event.
+  void advance() {
+    for (;;) {
+      if (l1_mask_ != 0) {
+        const std::size_t b = next_set_bit(l1_mask_, l1_bucket(l1_start_));
+        D2NET_HOT_ASSERT(b != static_cast<std::size_t>(-1), "l1 mask empty");
+        cur_.clear();
+        cur_.swap(l1_[b]);
+        cur_pos_ = 0;
+        l1_mask_ &= ~(std::uint64_t{1} << b);
+        // The consumed bucket's absolute start: ring position b at or after
+        // l1_start_ within the (≤ one span) L1 window.
+        const std::size_t from = l1_bucket(l1_start_);
+        const std::size_t steps = (b + kL1Buckets - from) % kL1Buckets;
+        l1_start_ += static_cast<TimePs>(steps + 1) * kW1;
+        std::sort(cur_.begin(), cur_.end(), before);
+        return;
+      }
+      l1_start_ = l1_limit_;  // L1 empty: its window closes at the L2 boundary
+      if (l2_mask_ != 0) {
+        const std::size_t b = next_set_bit(l2_mask_, l2_bucket(l2_start_));
+        D2NET_HOT_ASSERT(b != static_cast<std::size_t>(-1), "l2 mask empty");
+        std::vector<Event>& bucket = l2_[b];
+        l2_mask_ &= ~(std::uint64_t{1} << b);
+        const std::size_t from = l2_bucket(l2_start_);
+        const std::size_t steps = (b + kL2Buckets - from) % kL2Buckets;
+        const TimePs bucket_start = l2_start_ + static_cast<TimePs>(steps) * kW2;
+        // Expand this W2 region across the L1 ring, then slide the L2
+        // window past it and pull any heap events the wider window now
+        // covers.
+        l1_start_ = bucket_start;
+        l1_limit_ = bucket_start + kW2;
+        for (const Event& e : bucket) {
+          const std::size_t b1 = l1_bucket(e.time);
+          l1_[b1].push_back(e);
+          l1_mask_ |= std::uint64_t{1} << b1;
+        }
+        bucket.clear();
+        l2_start_ = l1_limit_;
+        drain_heap_into_l2();
+        continue;
+      }
+      // Both rings empty: re-anchor at the heap's earliest event.
+      D2NET_HOT_ASSERT(!heap_.empty(), "advance() with no pending events");
+      reanchor(heap_.front().time);
+      drain_heap_into_l2_and_l1();
     }
   }
 
+  void drain_heap_into_l2() {
+    const TimePs limit = l2_start_ + kL2Span;
+    while (!heap_.empty() && heap_.front().time < limit) {
+      const Event e = pop_heap();
+      const std::size_t b2 = l2_bucket(e.time);
+      l2_[b2].push_back(e);
+      l2_mask_ |= std::uint64_t{1} << b2;
+    }
+  }
+
+  void drain_heap_into_l2_and_l1() {
+    while (!heap_.empty() && heap_.front().time < l1_limit_) {
+      const Event e = pop_heap();
+      const std::size_t b1 = l1_bucket(e.time);
+      l1_[b1].push_back(e);
+      l1_mask_ |= std::uint64_t{1} << b1;
+    }
+    drain_heap_into_l2();
+  }
+
+  SchedulerKind kind_ = SchedulerKind::kHeap;
+  std::size_t size_ = 0;
   std::vector<Event> heap_;
   std::uint64_t next_seq_ = 0;
+
+  // Wheel state. cur_ is the sorted active bucket with consume index
+  // cur_pos_; the L1 ring covers [l1_start_, l1_limit_), the L2 ring
+  // [l2_start_, l2_start_ + kL2Span), the heap everything beyond.
+  std::vector<Event> cur_;
+  std::size_t cur_pos_ = 0;
+  std::array<std::vector<Event>, kL1Buckets> l1_{};
+  std::array<std::vector<Event>, kL2Buckets> l2_{};
+  std::uint64_t l1_mask_ = 0;
+  std::uint64_t l2_mask_ = 0;
+  TimePs l1_start_ = 0;
+  TimePs l1_limit_ = 0;
+  TimePs l2_start_ = 0;
 };
 
 }  // namespace d2net

@@ -28,7 +28,7 @@ const MinimalTable& checked_table(const std::shared_ptr<const MinimalTable>& tab
 
 SimStack::SimStack(const Topology& topo, std::shared_ptr<const MinimalTable> table,
                    RoutingStrategy strategy, const SimConfig& cfg,
-                   std::optional<UgalParams> params)
+                   std::optional<UgalParams> params, SharedIntermediates intermediates)
     : topo_(topo),
       table_(std::move(table)),
       sim_(topo, cfg, num_vcs_needed(topo, checked_table(table_, topo), strategy)) {
@@ -40,8 +40,11 @@ SimStack::SimStack(const Topology& topo, std::shared_ptr<const MinimalTable> tab
     sim_.set_fault_table(fault_table_.get());
     routing_table = fault_table_.get();
   }
-  algo_ = params.has_value() ? make_routing(topo_, *routing_table, strategy, sim_, *params)
-                             : make_routing(topo_, *routing_table, strategy, sim_);
+  const UgalParams p = params.has_value()
+                           ? *params
+                           : default_ugal_params(topo.kind(),
+                                                 strategy == RoutingStrategy::kUgalThreshold);
+  algo_ = make_routing(topo_, *routing_table, strategy, sim_, p, std::move(intermediates));
   sim_.set_routing(*algo_);
 }
 

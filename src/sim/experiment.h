@@ -32,9 +32,12 @@ class SimStack {
   /// Shares a precomputed minimal table instead of rebuilding the all-pairs
   /// BFS per stack — the parallel sweep runner constructs one stack per
   /// in-flight point, all referencing one immutable table per system.
+  /// `intermediates` optionally shares the Valiant candidate set the same
+  /// way (null = built privately when the strategy needs one).
   SimStack(const Topology& topo, std::shared_ptr<const MinimalTable> table,
            RoutingStrategy strategy, const SimConfig& cfg,
-           std::optional<UgalParams> params = std::nullopt);
+           std::optional<UgalParams> params = std::nullopt,
+           SharedIntermediates intermediates = nullptr);
 
   OpenLoopResult run_open_loop(const TrafficPattern& pattern, double load, TimePs duration,
                                TimePs warmup);

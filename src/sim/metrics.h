@@ -79,10 +79,22 @@ struct OccupancySample {
   std::int64_t buffered_bytes = 0;  ///< sum of all output-queue depths
 };
 
+/// Engine storage pre-sizing, reported per run so capacity planning is
+/// observable: NetworkSim reserves these at construction from the topology
+/// shape (radix x VC count x expected in-flight), and the *_reserved
+/// fields confirm what the backing stores actually grew to by run end.
+struct EngineCapacities {
+  std::size_t event_queue_reserved = 0;  ///< event slots without reallocation
+  std::size_t packet_pool_reserved = 0;  ///< packet slots without reallocation
+  std::size_t packet_pool_slots = 0;     ///< pool slots ever allocated (peak in-flight)
+  std::size_t voq_cells = 0;             ///< intrusive VOQ cells (in x vc x out, all routers)
+};
+
 /// Everything the instrumentation collected for one run. Attached to the
 /// result as shared_ptr<const SimMetrics> so copying results stays cheap.
 struct SimMetrics {
   TimePs sample_period = 0;
+  EngineCapacities capacities;
   RunPhaseBreakdown phases;
   std::vector<PortMetrics> ports;          ///< ordered by (router, out port)
   std::vector<OccupancySample> occupancy;  ///< whole-run, one entry per sample tick

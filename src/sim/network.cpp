@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <string>
 
@@ -35,6 +36,18 @@ bool paranoid_env() {
     return v != nullptr && *v != '\0' && std::string(v) != "0";
   }();
   return on;
+}
+
+// FNV-1a over the dispatched-event stream (see run_until); the offset doubles
+// as the empty-stream digest so "no events" still hashes to a fixed value.
+constexpr std::uint64_t kDigestOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kDigestPrime = 1099511628211ULL;
+
+inline std::uint64_t fnv1a_step(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h = (h ^ ((v >> (8 * i)) & 0xFFu)) * kDigestPrime;
+  }
+  return h;
 }
 }  // namespace
 
@@ -99,19 +112,35 @@ NetworkSim::NetworkSim(const Topology& topo, const SimConfig& cfg, int num_vcs)
     }
   }
   // Allocate the VC/VOQ structure once; reset() only clears it in place, so
-  // back-to-back runs on one instance do no structural allocation.
+  // back-to-back runs on one instance do no structural allocation. Every
+  // (in_port, vc, out_port) FIFO is one 16-byte cell in the flat voq_
+  // array; each cell records its (in_port, vc) identity so a ready-list
+  // entry alone locates the credit-return path.
+  std::size_t total_cells = 0;
+  std::size_t total_ports = 0;
   for (RouterState& rs : routers_) {
-    const int num_out = static_cast<int>(rs.out_ports.size());
-    for (InPort& ip : rs.in_ports) {
-      ip.vcs.resize(num_vcs_);
-      for (InVc& vc : ip.vcs) {
-        vc.voq.resize(num_out);
-        vc.in_ready.assign(num_out, 0);
-      }
-    }
+    rs.num_out = static_cast<std::int32_t>(rs.out_ports.size());
+    rs.voq_base = static_cast<std::int32_t>(total_cells);
+    total_cells += rs.in_ports.size() * static_cast<std::size_t>(num_vcs_) *
+                   static_cast<std::size_t>(rs.num_out);
+    total_ports += rs.out_ports.size();
+    D2NET_REQUIRE(total_cells <= static_cast<std::size_t>(INT32_MAX),
+                  "VOQ cell count overflows 32-bit indexing");
     for (OutPort& op : rs.out_ports) {
       op.credits.resize(op.to_node ? 0 : num_vcs_);
       op.credits_pending.resize(op.to_node ? 0 : num_vcs_);
+    }
+  }
+  voq_.resize(total_cells);
+  for (const RouterState& rs : routers_) {
+    for (int ipx = 0; ipx < static_cast<int>(rs.in_ports.size()); ++ipx) {
+      for (int vc = 0; vc < num_vcs_; ++vc) {
+        for (int o = 0; o < rs.num_out; ++o) {
+          VoqCell& cell = voq_[voq_index(rs, ipx, vc, o)];
+          cell.in_port = static_cast<std::int16_t>(ipx);
+          cell.vc = static_cast<std::uint8_t>(vc);
+        }
+      }
     }
   }
   for (NicState& nic : nics_) {
@@ -119,8 +148,18 @@ NetworkSim::NetworkSim(const Topology& topo, const SimConfig& cfg, int num_vcs)
     nic.credits_pending.resize(num_vcs_);
   }
   router_dead_.assign(routers_.size(), 0);
-  queue_.reserve(static_cast<std::size_t>(topo.num_nodes()) * 8);
+  // Pre-size the engine stores from the topology shape so a run's ramp-up
+  // does not grow them one element at a time: at saturation every node has
+  // a handful of generator/NIC events in flight and every network port a
+  // few pending channel/credit events; packets in flight scale with ports
+  // times a small per-VC queue depth. Reported via EngineCapacities.
+  queue_.set_scheduler(cfg_.scheduler);
+  queue_.reserve(static_cast<std::size_t>(topo.num_nodes()) * 8 +
+                 total_ports * static_cast<std::size_t>(num_vcs_) * 2);
+  pool_.reserve(static_cast<std::size_t>(topo.num_nodes()) * 4 +
+                total_ports * static_cast<std::size_t>(num_vcs_) * 4);
   paranoid_ = cfg_.paranoid || paranoid_env();
+  digest_enabled_ = cfg_.collect_event_digest;
 
   metrics_enabled_ = cfg_.metrics.enabled;
   if (metrics_enabled_) {
@@ -135,13 +174,11 @@ NetworkSim::NetworkSim(const Topology& topo, const SimConfig& cfg, int num_vcs)
 }
 
 void NetworkSim::reset() {
+  for (VoqCell& cell : voq_) {
+    cell.head = cell.tail = cell.next_ready = -1;
+    cell.in_ready = 0;
+  }
   for (RouterState& rs : routers_) {
-    for (InPort& ip : rs.in_ports) {
-      for (InVc& vc : ip.vcs) {
-        for (auto& fifo : vc.voq) fifo.clear();
-        std::fill(vc.in_ready.begin(), vc.in_ready.end(), 0);
-      }
-    }
     for (OutPort& op : rs.out_ports) {
       op.free_at = 0;
       op.queued_bytes = 0;
@@ -171,6 +208,7 @@ void NetworkSim::reset() {
   queue_.clear();
   now_ = 0;
   events_processed_ = 0;
+  event_digest_ = kDigestOffset;
   ejected_bytes_window_ = 0;
   ejected_per_node_.assign(topo_.num_nodes(), 0);
   packets_injected_ = 0;
@@ -365,7 +403,6 @@ void NetworkSim::handle_arrive_router(int pkt_id, int router, int in_port, int v
       return;
     }
   }
-  InVc& q = rs.in_ports[in_port].vcs[vc];
   int out_idx = out_port_for_packet(router, pool_[pkt_id]);
   if (faults_enabled_ && out_port_dead(router, out_idx)) {
     // Arrived intact but the planned next link is gone: salvage onto the
@@ -382,8 +419,8 @@ void NetworkSim::handle_arrive_router(int pkt_id, int router, int in_port, int v
   }
   const int size = pool_[pkt_id].size;
   rs.out_ports[out_idx].queued_bytes += size;
-  q.voq[out_idx].push_back({pkt_id, now + cfg_.router_latency});
-  if (q.voq[out_idx].size() == 1) {
+  VoqCell& cell = voq_[voq_index(rs, in_port, vc, out_idx)];
+  if (voq_push(pool_, cell, pkt_id, now + cfg_.router_latency)) {
     queue_.push(now + cfg_.router_latency, EventType::kHeadEligible, router, in_port, vc,
                 out_idx);
   }
@@ -392,19 +429,19 @@ void NetworkSim::handle_arrive_router(int pkt_id, int router, int in_port, int v
 void NetworkSim::handle_head_eligible(int router, int in_port, int vc, int out_idx,
                                       TimePs now) {
   RouterState& rs = routers_[router];
-  InVc& q = rs.in_ports[in_port].vcs[vc];
-  auto& fifo = q.voq[out_idx];
-  if (fifo.empty() || q.in_ready[out_idx]) {
+  const std::int32_t ci = voq_index(rs, in_port, vc, out_idx);
+  VoqCell& cell = voq_[ci];
+  if (cell.head < 0 || cell.in_ready) {
     return;  // stale event (head already granted and successor rescheduled)
   }
-  if (fifo.front().eligible_at > now) {
+  const TimePs eligible_at = pool_[cell.head].eligible_at;
+  if (eligible_at > now) {
     // Defensive: never strand a head — re-arm at its eligibility time.
-    queue_.push(fifo.front().eligible_at, EventType::kHeadEligible, router, in_port, vc,
-                out_idx);
+    queue_.push(eligible_at, EventType::kHeadEligible, router, in_port, vc, out_idx);
     return;
   }
-  q.in_ready[out_idx] = 1;
-  rs.out_ports[out_idx].ready.push_back({in_port, vc});
+  cell.in_ready = 1;
+  ready_append(rs.out_ports[out_idx].ready, voq_, ci);
   try_grant(router, out_idx, now);
 }
 
@@ -414,13 +451,17 @@ void NetworkSim::try_grant(int router, int out_idx, TimePs now) {
   if (out.free_at > now) return;  // kChannelFree retries
   if (faults_enabled_ && out_port_dead(router, out_idx)) return;  // link-up kicks again
 
+  // Round-robin over the ready list: pop each candidate off the head; a
+  // skipped (credit-blocked) entry re-appends at the tail, which is exactly
+  // the erase-then-rotate order of the old vector arbitration. The budget
+  // bounds the scan to one pass over the entries present on entry.
   bool credit_blocked = false;
-  for (std::size_t i = 0; i < out.ready.size(); ++i) {
-    const ReadyEntry entry = out.ready[i];
-    InVc& q = rs.in_ports[entry.in_port].vcs[entry.vc];
-    auto& fifo = q.voq[out_idx];
-    D2NET_ASSERT(!fifo.empty() && q.in_ready[out_idx], "ready list out of sync");
-    const int pkt_id = fifo.front().pkt;
+  int budget = out.ready.count;
+  while (budget-- > 0) {
+    const std::int32_t ci = ready_pop(out.ready, voq_);
+    VoqCell& cell = voq_[ci];
+    D2NET_HOT_ASSERT(cell.head >= 0 && cell.in_ready, "ready list out of sync");
+    const int pkt_id = cell.head;
     Packet& pkt = pool_[pkt_id];
     int vc_next = 0;
     if (!out.to_node) {
@@ -429,16 +470,17 @@ void NetworkSim::try_grant(int router, int out_idx, TimePs now) {
       if (out.credits[vc_next] < pkt.size) {  // blocked on credit
         credit_blocked = true;
         if (metrics_enabled_) ctr_credit_skips_->add();
+        ready_append(out.ready, voq_, ci);
         continue;
       }
     }
 
-    // Grant: rotate the ready list so entries skipped or granted move back.
-    out.ready.erase(out.ready.begin() + static_cast<std::ptrdiff_t>(i));
-    std::rotate(out.ready.begin(), out.ready.begin() + static_cast<std::ptrdiff_t>(i),
-                out.ready.end());
-    q.in_ready[out_idx] = 0;
-    fifo.pop_front();
+    // Grant: the cell leaves the ready list (already popped) and the packet
+    // leaves its FIFO.
+    const int in_port = cell.in_port;
+    const int in_vc = cell.vc;
+    cell.in_ready = 0;
+    voq_pop(pool_, cell);
     out.queued_bytes -= pkt.size;
 
     const TimePs ser = static_cast<TimePs>(pkt.size) * cfg_.ps_per_byte;
@@ -456,7 +498,7 @@ void NetworkSim::try_grant(int router, int out_idx, TimePs now) {
       if (now >= window_start_ && now <= window_end_) {
         ++pi.m.packets_forwarded;
         pi.m.bytes_forwarded += pkt.size;
-        VcMetrics& vm = pi.m.vcs[entry.vc];
+        VcMetrics& vm = pi.m.vcs[in_vc];
         ++vm.packets;
         vm.bytes += pkt.size;
         ++(pkt.route.minimal() ? vm.minimal_packets : vm.indirect_packets);
@@ -464,7 +506,7 @@ void NetworkSim::try_grant(int router, int out_idx, TimePs now) {
     }
 
     // Return the freed input-buffer credit upstream.
-    return_input_credit(router, entry.in_port, entry.vc, pkt.size, now);
+    return_input_credit(router, in_port, in_vc, pkt.size, now);
 
     if (out.to_node) {
       // Delivery completes when the tail reaches the NIC, regardless of
@@ -482,9 +524,9 @@ void NetworkSim::try_grant(int router, int out_idx, TimePs now) {
     ++progress_;
 
     // Wake the new head of the drained FIFO, if any.
-    if (!fifo.empty()) {
-      queue_.push(std::max(now, fifo.front().eligible_at), EventType::kHeadEligible, router,
-                  entry.in_port, entry.vc, out_idx);
+    if (cell.head >= 0) {
+      queue_.push(std::max(now, pool_[cell.head].eligible_at), EventType::kHeadEligible,
+                  router, in_port, in_vc, out_idx);
     }
     return;
   }
@@ -658,9 +700,7 @@ bool NetworkSim::salvage_route(Packet& pkt, int router) {
   D2NET_ASSERT(route.routers[static_cast<std::size_t>(pkt.hop)] == router,
                "salvage at a router the packet does not occupy");
   route.routers.resize(static_cast<std::size_t>(pkt.hop) + 1);
-  fault_table_->sample_path_into(router, dst_router, rng_, salvage_scratch_);
-  route.routers.insert(route.routers.end(), salvage_scratch_.begin() + 1,
-                       salvage_scratch_.end());
+  fault_table_->sample_path_append(router, dst_router, rng_, route.routers);
   if (route.intermediate_pos > pkt.hop) route.intermediate_pos = pkt.hop;
   const int hops = route.hops();
   route.vcs.resize(static_cast<std::size_t>(hops));
@@ -760,13 +800,10 @@ void NetworkSim::drain_out_port(int router, int out_idx, TimePs now, bool credit
   RouterState& rs = routers_[router];
   OutPort& op = rs.out_ports[out_idx];
   for (std::size_t ipx = 0; ipx < rs.in_ports.size(); ++ipx) {
-    InPort& ip = rs.in_ports[ipx];
     for (int vc = 0; vc < num_vcs_; ++vc) {
-      InVc& q = ip.vcs[vc];
-      auto& fifo = q.voq[out_idx];
-      while (!fifo.empty()) {
-        const int pkt_id = fifo.front().pkt;
-        fifo.pop_front();
+      VoqCell& cell = voq_[voq_index(rs, static_cast<int>(ipx), vc, out_idx)];
+      while (cell.head >= 0) {
+        const int pkt_id = voq_pop(pool_, cell);
         Packet& pkt = pool_[pkt_id];
         if (allow_salvage && salvage_route(pkt, router)) {
           // The packet stays in its input buffer, re-queued for the out
@@ -774,10 +811,9 @@ void NetworkSim::drain_out_port(int router, int out_idx, TimePs now, bool credit
           const int new_out = out_port_for_packet(router, pkt);
           D2NET_ASSERT(new_out != out_idx, "salvage re-chose the dead port");
           ++fstats_.reroutes;
-          auto& fresh = q.voq[new_out];
+          VoqCell& fresh = voq_[voq_index(rs, static_cast<int>(ipx), vc, new_out)];
           rs.out_ports[new_out].queued_bytes += pkt.size;
-          fresh.push_back({pkt_id, now + cfg_.router_latency});
-          if (fresh.size() == 1) {
+          if (voq_push(pool_, fresh, pkt_id, now + cfg_.router_latency)) {
             queue_.push(now + cfg_.router_latency, EventType::kHeadEligible, router,
                         static_cast<int>(ipx), vc, new_out);
           }
@@ -788,34 +824,37 @@ void NetworkSim::drain_out_port(int router, int out_idx, TimePs now, bool credit
           drop_packet(pkt_id, now);
         }
       }
-      q.in_ready[out_idx] = 0;
+      cell.in_ready = 0;
     }
   }
   op.ready.clear();
   op.queued_bytes = 0;
 }
 
+std::int64_t NetworkSim::input_vc_bytes(const RouterState& rs, int in_port, int vc) const {
+  std::int64_t occupied = 0;
+  for (int o = 0; o < rs.num_out; ++o) {
+    const VoqCell& cell = voq_[voq_index(rs, in_port, vc, o)];
+    for (int id = cell.head; id >= 0; id = pool_[id].vnext) occupied += pool_[id].size;
+  }
+  return occupied;
+}
+
 void NetworkSim::resync_link_credits(int u, int v) {
   OutPort& op = routers_[u].out_ports[out_port_toward(u, v)];
-  const InPort& ip = routers_[v].in_ports[op.peer_in_port];
+  const RouterState& peer = routers_[v];
   for (int vc = 0; vc < num_vcs_; ++vc) {
-    std::int64_t occupied = 0;
-    for (const auto& fifo : ip.vcs[vc].voq) {
-      for (const QueuedPkt& qp : fifo) occupied += pool_[qp.pkt].size;
-    }
-    op.credits[vc] = vc_buffer_bytes_ - occupied - op.credits_pending[vc];
+    op.credits[vc] = vc_buffer_bytes_ - input_vc_bytes(peer, op.peer_in_port, vc) -
+                     op.credits_pending[vc];
   }
 }
 
 void NetworkSim::resync_nic_credits(int node) {
   NicState& nic = nics_[node];
-  const InPort& ip = routers_[nic.router].in_ports[nic.in_port];
+  const RouterState& rs = routers_[nic.router];
   for (int vc = 0; vc < num_vcs_; ++vc) {
-    std::int64_t occupied = 0;
-    for (const auto& fifo : ip.vcs[vc].voq) {
-      for (const QueuedPkt& qp : fifo) occupied += pool_[qp.pkt].size;
-    }
-    nic.credits[vc] = vc_buffer_bytes_ - occupied - nic.credits_pending[vc];
+    nic.credits[vc] =
+        vc_buffer_bytes_ - input_vc_bytes(rs, nic.in_port, vc) - nic.credits_pending[vc];
   }
 }
 
@@ -940,7 +979,7 @@ void NetworkSim::handle_watchdog(TimePs now) {
     s.zero_credit_vcs = 0;
     for (const RouterState& rs : routers_) {
       for (const OutPort& op : rs.out_ports) {
-        s.stalled_heads += static_cast<int>(op.ready.size());
+        s.stalled_heads += op.ready.count;
         for (std::int64_t c : op.credits) {
           if (c < cfg_.packet_bytes) ++s.zero_credit_vcs;
         }
@@ -960,6 +999,9 @@ void NetworkSim::setup_faults() {
   if (hop_limit_ <= 0 && fault_table_ != nullptr) {
     hop_limit_ = 4 * fault_table_->diameter() + 4;
   }
+  // Salvaged routes live in the inline Route storage; a longer limit could
+  // never be exercised without overflowing it.
+  hop_limit_ = std::min(hop_limit_, Route::kMaxHops);
   if (faults_enabled_ && fault_table_ != nullptr && cfg_.fault.reroute) {
     // Start from the healthy table regardless of what a previous faulted
     // run on this instance left behind.
@@ -1006,6 +1048,22 @@ void NetworkSim::run_until(TimePs end) {
       handle_watchdog(e.time);
       continue;
     }
+    if (digest_enabled_) {
+      // Order-sensitive digest of exactly the dispatched stream (the same
+      // events events_processed counts): any divergence in event content or
+      // ordering between two runs flips it.
+      std::uint64_t h = event_digest_;
+      h = fnv1a_step(h, static_cast<std::uint64_t>(e.time));
+      h = fnv1a_step(h, e.seq);
+      h = fnv1a_step(h, static_cast<std::uint64_t>(e.type));
+      h = fnv1a_step(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.a)) |
+                            (static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.b))
+                             << 32));
+      h = fnv1a_step(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.c)) |
+                            (static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.d))
+                             << 32));
+      event_digest_ = h;
+    }
     dispatch(e);
     ++events_processed_;
     // Cooperative wall-clock deadline: one countdown decrement per event,
@@ -1034,13 +1092,14 @@ void NetworkSim::self_audit(const char* where) const {
   for (int r = 0; r < topo_.num_routers(); ++r) {
     const RouterState& rs = routers_[r];
     voq_bytes.assign(rs.out_ports.size(), 0);
-    for (const InPort& ip : rs.in_ports) {
-      for (const InVc& vc : ip.vcs) {
+    for (int ipx = 0; ipx < static_cast<int>(rs.in_ports.size()); ++ipx) {
+      for (int vc = 0; vc < num_vcs_; ++vc) {
         std::int64_t occupied = 0;
-        for (std::size_t o = 0; o < vc.voq.size(); ++o) {
-          for (const QueuedPkt& qp : vc.voq[o]) {
-            occupied += pool_[qp.pkt].size;
-            voq_bytes[o] += pool_[qp.pkt].size;
+        for (int o = 0; o < rs.num_out; ++o) {
+          const VoqCell& cell = voq_[voq_index(rs, ipx, vc, o)];
+          for (int id = cell.head; id >= 0; id = pool_[id].vnext) {
+            occupied += pool_[id].size;
+            voq_bytes[static_cast<std::size_t>(o)] += pool_[id].size;
           }
         }
         if (occupied > vc_buffer_bytes_) {
@@ -1061,12 +1120,9 @@ void NetworkSim::self_audit(const char* where) const {
       // flight as a pending credit return, or occupied by a buffered
       // packet. In-flight packets hold the balance, so the sum never
       // exceeds the buffer and each term stays non-negative.
-      const InPort& peer = routers_[op.peer_router].in_ports[op.peer_in_port];
+      const RouterState& peer = routers_[op.peer_router];
       for (int v = 0; v < num_vcs_; ++v) {
-        std::int64_t occupied = 0;
-        for (const auto& fifo : peer.vcs[v].voq) {
-          for (const QueuedPkt& qp : fifo) occupied += pool_[qp.pkt].size;
-        }
+        const std::int64_t occupied = input_vc_bytes(peer, op.peer_in_port, v);
         const std::int64_t credits = op.credits[v];
         const std::int64_t pending = op.credits_pending[v];
         if (credits < 0) fail(id(r, o) + " vc " + std::to_string(v) + " negative credits");
@@ -1085,12 +1141,8 @@ void NetworkSim::self_audit(const char* where) const {
   // Same conservation law on every injection wire (NIC -> router).
   for (std::size_t n = 0; n < nics_.size(); ++n) {
     const NicState& nic = nics_[n];
-    const InPort& ip = routers_[nic.router].in_ports[nic.in_port];
     for (int v = 0; v < num_vcs_; ++v) {
-      std::int64_t occupied = 0;
-      for (const auto& fifo : ip.vcs[v].voq) {
-        for (const QueuedPkt& qp : fifo) occupied += pool_[qp.pkt].size;
-      }
+      const std::int64_t occupied = input_vc_bytes(routers_[nic.router], nic.in_port, v);
       const std::int64_t credits = nic.credits[v];
       const std::int64_t pending = nic.credits_pending[v];
       if (credits < 0) fail("nic " + std::to_string(n) + " negative credits");
@@ -1109,6 +1161,10 @@ std::shared_ptr<const SimMetrics> NetworkSim::build_metrics() {
   if (!metrics_enabled_) return nullptr;
   auto out = std::make_shared<SimMetrics>();
   out->sample_period = cfg_.metrics.sample_period;
+  out->capacities.event_queue_reserved = queue_.reserved();
+  out->capacities.packet_pool_reserved = pool_.reserved();
+  out->capacities.packet_pool_slots = pool_.capacity();
+  out->capacities.voq_cells = voq_.size();
   out->phases = phases_;
   out->occupancy = std::move(occupancy_series_);
   occupancy_series_.clear();
@@ -1173,6 +1229,7 @@ OpenLoopResult NetworkSim::run_open_loop(const TrafficPattern& pattern, double l
   res.packets_measured = latency_ns_.count();
   res.packets_injected = packets_injected_;
   res.events_processed = events_processed_;
+  res.event_digest = digest_enabled_ ? event_digest_ : 0;
   res.avg_hops = hops_.mean();
   res.fraction_minimal =
       packets_injected_ > 0
@@ -1235,6 +1292,7 @@ ExchangeResult NetworkSim::run_exchange(const ExchangePlan& plan, TimePs time_li
     res.effective_throughput = per_node_bytes / line_bytes;
   }
   res.avg_latency_ns = latency_ns_.mean();
+  res.event_digest = digest_enabled_ ? event_digest_ : 0;
   res.faults = fstats_;
   res.metrics = build_metrics();
   return res;

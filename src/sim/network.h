@@ -35,6 +35,7 @@
 #include "sim/metrics.h"
 #include "sim/packet.h"
 #include "sim/trace.h"
+#include "sim/voq.h"
 
 namespace d2net {
 
@@ -56,6 +57,10 @@ struct OpenLoopResult {
   /// Discrete events dispatched during the run (engine-speed denominator
   /// for the benches' events/sec reporting).
   std::int64_t events_processed = 0;
+  /// FNV-1a digest of the dispatched event stream; 0 unless
+  /// SimConfig::collect_event_digest. Identical across scheduler kinds and
+  /// sweep parallelism (tests/test_determinism_digest.cpp).
+  std::uint64_t event_digest = 0;
   double avg_hops = 0.0;
   /// Share of packets the routing algorithm sent minimally (1.0 for MIN).
   double fraction_minimal = 0.0;
@@ -107,6 +112,9 @@ struct ExchangeResult {
   /// the line rate — the paper's "effective throughput" (Figs. 13, 14).
   double effective_throughput = 0.0;
   double avg_latency_ns = 0.0;  ///< mean in-network packet latency
+  /// FNV-1a digest of the dispatched event stream; 0 unless
+  /// SimConfig::collect_event_digest.
+  std::uint64_t event_digest = 0;
   /// True when SimConfig::wall_limit_seconds expired before completion or
   /// the simulated time limit (completed is false in that case).
   bool timed_out = false;
@@ -179,28 +187,17 @@ class NetworkSim final : public PortLoadProvider {
 
  private:
   // --- state types ---
-  struct QueuedPkt {
-    int pkt;
-    TimePs eligible_at;
-  };
-  /// Input VC buffer, organized as virtual output queues so a blocked head
-  /// for one output cannot stall traffic for another (the paper's
-  /// input-output-buffered switch is not head-of-line limited; a plain
-  /// FIFO input queue would cap uniform throughput near 75%).
-  struct InVc {
-    std::vector<std::deque<QueuedPkt>> voq;  ///< one FIFO per output port
-    std::vector<std::uint8_t> in_ready;      ///< head registered per output port
-  };
+  // Input VC buffers are organized as virtual output queues so a blocked
+  // head for one output cannot stall traffic for another (the paper's
+  // input-output-buffered switch is not head-of-line limited; a plain FIFO
+  // input queue would cap uniform throughput near 75%). Each
+  // (in_port, vc, out_port) FIFO is one VoqCell in the flat `voq_` array
+  // (see sim/voq.h), threaded through the packet pool's own slots.
   struct InPort {
-    std::vector<InVc> vcs;
     bool from_node = false;
     int peer_node = -1;
     int peer_router = -1;
     int peer_out_port = -1;
-  };
-  struct ReadyEntry {
-    int in_port;
-    int vc;
   };
   struct OutPort {
     TimePs free_at = 0;
@@ -211,7 +208,9 @@ class NetworkSim final : public PortLoadProvider {
     std::vector<std::int64_t> credits;  ///< per VC; empty for ejection ports
     std::int64_t queued_bytes = 0;      ///< UGAL occupancy: waiting at this router
     std::int64_t bytes_sent_window = 0; ///< forwarded bytes inside the window
-    std::deque<ReadyEntry> ready;
+    /// Intrusive FIFO (through VoqCell::next_ready) of the input VOQs whose
+    /// eligible head requests this port.
+    ReadyList ready;
     // Fault state (only read when the schedule is non-empty):
     bool up = true;            ///< link-level liveness of this direction
     std::uint32_t epoch = 0;   ///< bumped per cut; mismatched packets died on the wire
@@ -224,6 +223,8 @@ class NetworkSim final : public PortLoadProvider {
     std::vector<InPort> in_ports;    ///< [0, deg): network; then injection
     std::vector<OutPort> out_ports;  ///< [0, deg): network; then ejection
     std::vector<std::pair<int, int>> port_of_neighbor;  ///< sorted (neighbor, out port)
+    std::int32_t voq_base = 0;  ///< first VoqCell of this router in voq_
+    std::int32_t num_out = 0;   ///< cached out_ports.size() for cell indexing
   };
   struct NicState {
     TimePs free_at = 0;
@@ -238,6 +239,11 @@ class NetworkSim final : public PortLoadProvider {
 
   // --- helpers ---
   void reset();
+  /// Index of the (in_port, vc, out_idx) VOQ cell of `rs` in voq_.
+  std::int32_t voq_index(const RouterState& rs, int in_port, int vc, int out_idx) const {
+    return rs.voq_base +
+           static_cast<std::int32_t>((in_port * num_vcs_ + vc) * rs.num_out + out_idx);
+  }
   int out_port_toward(int router, int neighbor) const;
   int out_port_for_packet(int router, const Packet& pkt) const;
   void try_inject(int node, TimePs now);
@@ -269,6 +275,9 @@ class NetworkSim final : public PortLoadProvider {
   /// occupancy minus credit returns still in flight.
   void resync_link_credits(int u, int v);
   void resync_nic_credits(int node);
+  /// Bytes buffered in the input VC (in_port, vc) of `rs`, summed over its
+  /// per-output FIFOs (credit resync and the paranoid audit).
+  std::int64_t input_vc_bytes(const RouterState& rs, int in_port, int vc) const;
   /// Rewrites pkt's route tail with a fresh path from `router`; false when
   /// salvage is unavailable (no table / unreachable / hop limit).
   bool salvage_route(Packet& pkt, int router);
@@ -307,12 +316,18 @@ class NetworkSim final : public PortLoadProvider {
 
   // --- mutable run state ---
   std::vector<RouterState> routers_;
+  /// All VOQ cells of all routers, contiguous (see voq_index()).
+  std::vector<VoqCell> voq_;
   std::vector<NicState> nics_;
   PacketPool pool_;
   EventQueue queue_;
   Rng rng_{1};
   TimePs now_ = 0;
   std::int64_t events_processed_ = 0;
+  /// FNV-1a over the dispatched event stream; see
+  /// SimConfig::collect_event_digest.
+  bool digest_enabled_ = false;
+  std::uint64_t event_digest_ = 0;
 
   // open-loop bookkeeping
   const TrafficPattern* pattern_ = nullptr;
@@ -340,7 +355,6 @@ class NetworkSim final : public PortLoadProvider {
   /// stops moving while work is outstanding.
   std::uint64_t progress_ = 0;
   std::uint64_t watch_last_ = 0;
-  std::vector<int> salvage_scratch_;  ///< path buffer reused across salvages
 
   // wall-clock deadline (cooperative cancellation; see
   // SimConfig::wall_limit_seconds). The clock is only read once per

@@ -26,6 +26,13 @@ struct Packet {
   /// packet and it must be destroyed (fault runs only).
   std::uint32_t link_epoch = 0;
 
+  // Intrusive VOQ linkage (see sim/voq.h): while the packet waits in an
+  // input-buffer virtual output queue these thread it into that FIFO, so
+  // queue membership costs no allocation and a queue walk is sequential
+  // pool-slot loads.
+  std::int32_t vnext = -1;   ///< pool id of the next packet in the same VOQ
+  TimePs eligible_at = 0;    ///< forwarding eligibility (arrival + router latency)
+
   /// Next-hop VC used when traversing `hop -> hop + 1`.
   int vc_at_hop() const { return route.vcs.empty() ? 0 : route.vcs[hop]; }
   bool at_destination_router() const {
@@ -34,9 +41,9 @@ struct Packet {
 };
 
 /// Index-based free-list pool: packet ids stay valid across vector growth.
-/// Released packets keep their Route vector capacity so steady-state
-/// operation allocates nothing per packet (the simulator rewrites every
-/// field, including the route, on reuse).
+/// With the inline-array Route a packet is one contiguous slab, so
+/// steady-state operation allocates nothing per packet (the simulator
+/// rewrites every field, including the route, on reuse).
 class PacketPool {
  public:
   int alloc() {
@@ -51,16 +58,26 @@ class PacketPool {
 
   void release(int id) { free_.push_back(id); }
 
-  /// Returns every packet to the free list without freeing route storage;
-  /// used by NetworkSim::reset() between runs on the same instance.
+  /// Returns every packet to the free list; used by NetworkSim::reset()
+  /// between runs on the same instance.
   void recycle_all() {
     free_.resize(packets_.size());
     for (std::size_t i = 0; i < free_.size(); ++i) free_[i] = static_cast<int>(i);
   }
 
+  /// Pre-sizes the slab and free list for an expected in-flight packet
+  /// count, so a run's ramp-up does not grow the pool one packet at a time
+  /// (NetworkSim sizes this from the topology's buffering capacity).
+  void reserve(std::size_t n) {
+    packets_.reserve(n);
+    free_.reserve(n);
+  }
+
   Packet& operator[](int id) { return packets_[id]; }
   const Packet& operator[](int id) const { return packets_[id]; }
   std::size_t capacity() const { return packets_.size(); }
+  /// Slots the backing store can hold before reallocating.
+  std::size_t reserved() const { return packets_.capacity(); }
   std::size_t in_use() const { return packets_.size() - free_.size(); }
 
  private:

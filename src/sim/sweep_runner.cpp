@@ -33,13 +33,27 @@ std::vector<std::vector<SweepPoint>> SweepRunner::run(
   };
 
   // Resolve the shared minimal tables: one per distinct topology, reused
-  // across series (and by every point of each series).
+  // across series (and by every point of each series). The Valiant/UGAL
+  // intermediate candidate sets are shared the same way, so every in-flight
+  // point reads one immutable copy instead of rebuilding its own.
   std::vector<std::shared_ptr<const MinimalTable>> tables(specs.size());
+  std::vector<SharedIntermediates> intermediates(specs.size());
   std::unordered_map<const Topology*, std::shared_ptr<const MinimalTable>> by_topo;
+  std::unordered_map<const Topology*, SharedIntermediates> vias_by_topo;
   for (std::size_t s = 0; s < specs.size(); ++s) {
     const SweepSeriesSpec& spec = specs[s];
     D2NET_REQUIRE(spec.topo != nullptr, "series needs a topology");
     D2NET_REQUIRE(spec.pattern != nullptr, "series needs a traffic pattern");
+    if (spec.strategy != RoutingStrategy::kMinimal) {
+      auto vit = vias_by_topo.find(spec.topo);
+      if (vit == vias_by_topo.end()) {
+        vit = vias_by_topo
+                  .emplace(spec.topo, std::make_shared<const std::vector<int>>(
+                                          valiant_intermediates(*spec.topo)))
+                  .first;
+      }
+      intermediates[s] = vit->second;
+    }
     if (spec.table != nullptr) {
       tables[s] = spec.table;
       by_topo.emplace(spec.topo, spec.table);
@@ -137,7 +151,7 @@ std::vector<std::vector<SweepPoint>> SweepRunner::run(
       }
       try {
         SimStack stack(*spec.topo, tables[points[i].series], spec.strategy, cfg,
-                       spec.params);
+                       spec.params, intermediates[points[i].series]);
         pt.result = stack.run_open_loop(*spec.pattern, load, duration, opts_.warmup);
         pt.attempts = attempt + 1;
         pt.failed = false;

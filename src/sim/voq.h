@@ -1,0 +1,103 @@
+// Intrusive virtual-output-queue storage for the simulator hot path.
+//
+// Every (input port, VC, output port) FIFO of a router is one 16-byte
+// VoqCell in a single contiguous per-simulator vector; queue membership is
+// threaded through the packet-pool slots themselves (Packet::vnext /
+// Packet::eligible_at), so pushing or popping a packet never allocates and
+// walking a queue is a chain of sequential pool-slot loads. The cells that
+// currently have an eligible head requesting an output port form that
+// port's ready list — an intrusive singly-linked FIFO through
+// VoqCell::next_ready whose pop-head / append-tail discipline reproduces
+// the round-robin arbitration order of the previous deque-based
+// implementation exactly (grant at position i == erase + rotate by i).
+//
+// The operations live here as free functions over (PacketPool, cell array)
+// so bench_micro_core can exercise them in isolation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+#include "sim/packet.h"
+
+namespace d2net {
+
+/// One virtual output queue: FIFO of pooled packets plus its ready-list
+/// linkage. `in_port` / `vc` identify the input buffer the cell belongs to
+/// (written once at construction) so a ready-list entry alone tells the
+/// arbiter where to return credits.
+struct VoqCell {
+  std::int32_t head = -1;        ///< pool id of the queue head, -1 = empty
+  std::int32_t tail = -1;        ///< pool id of the queue tail
+  std::int32_t next_ready = -1;  ///< next cell index in the out-port ready list
+  std::int16_t in_port = 0;
+  std::uint8_t vc = 0;
+  /// Head registered in the out port's ready list (mirror of the old
+  /// per-output in_ready bitmap).
+  std::uint8_t in_ready = 0;
+};
+static_assert(sizeof(VoqCell) == 16);
+
+/// Intrusive FIFO of VoqCells awaiting arbitration at one output port.
+struct ReadyList {
+  std::int32_t head = -1;  ///< cell index, -1 = empty
+  std::int32_t tail = -1;
+  std::int32_t count = 0;
+
+  void clear() {
+    head = tail = -1;
+    count = 0;
+  }
+};
+
+inline bool voq_empty(const VoqCell& cell) { return cell.head < 0; }
+
+/// Appends `pkt_id` to the cell's FIFO; returns true when it became the new
+/// head (the caller then schedules its eligibility event).
+inline bool voq_push(PacketPool& pool, VoqCell& cell, int pkt_id, TimePs eligible_at) {
+  Packet& pkt = pool[pkt_id];
+  pkt.vnext = -1;
+  pkt.eligible_at = eligible_at;
+  const bool was_empty = cell.head < 0;
+  if (was_empty) {
+    cell.head = pkt_id;
+  } else {
+    pool[cell.tail].vnext = pkt_id;
+  }
+  cell.tail = pkt_id;
+  return was_empty;
+}
+
+/// Pops and returns the FIFO head (the cell must be non-empty).
+inline int voq_pop(PacketPool& pool, VoqCell& cell) {
+  D2NET_HOT_ASSERT(cell.head >= 0, "voq_pop on empty VOQ");
+  const int pkt_id = cell.head;
+  cell.head = pool[pkt_id].vnext;
+  if (cell.head < 0) cell.tail = -1;
+  return pkt_id;
+}
+
+/// Appends cell `ci` to the ready list tail.
+inline void ready_append(ReadyList& rl, std::vector<VoqCell>& cells, std::int32_t ci) {
+  cells[ci].next_ready = -1;
+  if (rl.head < 0) {
+    rl.head = ci;
+  } else {
+    cells[rl.tail].next_ready = ci;
+  }
+  rl.tail = ci;
+  ++rl.count;
+}
+
+/// Pops and returns the ready list head (must be non-empty).
+inline std::int32_t ready_pop(ReadyList& rl, std::vector<VoqCell>& cells) {
+  D2NET_HOT_ASSERT(rl.head >= 0, "ready_pop on empty ready list");
+  const std::int32_t ci = rl.head;
+  rl.head = cells[ci].next_ready;
+  if (rl.head < 0) rl.tail = -1;
+  --rl.count;
+  return ci;
+}
+
+}  // namespace d2net

@@ -1,0 +1,154 @@
+// Golden event-digest determinism: the bucketed near-future wheel must
+// dispatch the exact same (time, seq, type, a..d) event stream as the plain
+// 4-ary heap, and sweep parallelism must not perturb any point's stream.
+//
+// The digest (OpenLoopResult::event_digest, FNV-1a over every dispatched
+// event, collected when SimConfig::collect_event_digest is set) is
+// order-sensitive: a single swapped tie, dropped event, or field change
+// flips it. Equal digests therefore certify bit-identical simulations, not
+// merely equal summary statistics.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "sim/sweep_runner.h"
+#include "sim/traffic.h"
+#include "topology/mlfm.h"
+#include "topology/slim_fly.h"
+
+namespace d2net {
+namespace {
+
+SimConfig digest_config(SchedulerKind kind, std::uint64_t seed) {
+  SimConfig cfg;
+  cfg.seed = seed;
+  cfg.scheduler = kind;
+  cfg.collect_event_digest = true;
+  return cfg;
+}
+
+OpenLoopResult run_open(const Topology& topo, RoutingStrategy strategy,
+                        SchedulerKind kind, double load) {
+  SimStack stack(topo, strategy, digest_config(kind, 7));
+  UniformTraffic uni(topo.num_nodes());
+  return stack.run_open_loop(uni, load, us(6), us(1));
+}
+
+void expect_identical(const OpenLoopResult& heap, const OpenLoopResult& wheel) {
+  ASSERT_GT(heap.events_processed, 0);
+  EXPECT_EQ(heap.events_processed, wheel.events_processed);
+  EXPECT_EQ(heap.event_digest, wheel.event_digest);
+  EXPECT_EQ(heap.packets_injected, wheel.packets_injected);
+  EXPECT_EQ(heap.packets_measured, wheel.packets_measured);
+  EXPECT_EQ(heap.accepted_throughput, wheel.accepted_throughput);
+  EXPECT_EQ(heap.avg_latency_ns, wheel.avg_latency_ns);
+}
+
+TEST(DeterminismDigest, SlimFlyHeapAndWheelMatch) {
+  const Topology topo = build_slim_fly(5);
+  for (const RoutingStrategy s : {RoutingStrategy::kMinimal, RoutingStrategy::kUgal}) {
+    const OpenLoopResult heap = run_open(topo, s, SchedulerKind::kHeap, 0.6);
+    const OpenLoopResult wheel = run_open(topo, s, SchedulerKind::kWheel, 0.6);
+    expect_identical(heap, wheel);
+  }
+}
+
+TEST(DeterminismDigest, MlfmHeapAndWheelMatch) {
+  const Topology topo = build_mlfm(4);
+  const OpenLoopResult heap = run_open(topo, RoutingStrategy::kValiant,
+                                       SchedulerKind::kHeap, 0.5);
+  const OpenLoopResult wheel = run_open(topo, RoutingStrategy::kValiant,
+                                        SchedulerKind::kWheel, 0.5);
+  expect_identical(heap, wheel);
+}
+
+TEST(DeterminismDigest, DigestOffByDefaultAndSeedSensitive) {
+  const Topology topo = build_slim_fly(5);
+  UniformTraffic uni(topo.num_nodes());
+  SimConfig plain;
+  plain.seed = 7;
+  SimStack stack(topo, RoutingStrategy::kMinimal, plain);
+  EXPECT_EQ(stack.run_open_loop(uni, 0.4, us(4), us(1)).event_digest, 0u);
+
+  const OpenLoopResult a = run_open(topo, RoutingStrategy::kMinimal,
+                                    SchedulerKind::kWheel, 0.6);
+  SimStack other(topo, RoutingStrategy::kMinimal,
+                 digest_config(SchedulerKind::kWheel, 8));
+  const OpenLoopResult b = other.run_open_loop(uni, 0.6, us(6), us(1));
+  EXPECT_NE(a.event_digest, 0u);
+  EXPECT_NE(a.event_digest, b.event_digest);
+}
+
+TEST(DeterminismDigest, FaultScheduleHeapAndWheelMatch) {
+  // Fault application drains VOQs wholesale and reroutes salvaged packets —
+  // the busiest burst of same-timestamp events the engine produces, and
+  // exactly where a tie-break difference between schedulers would surface.
+  const Topology topo = build_slim_fly(5);
+  UniformTraffic uni(topo.num_nodes());
+  OpenLoopResult results[2];
+  int i = 0;
+  for (const SchedulerKind kind : {SchedulerKind::kHeap, SchedulerKind::kWheel}) {
+    SimConfig cfg = digest_config(kind, 11);
+    cfg.fault.reroute = true;
+    cfg.fault.recovery = FaultRecovery::kSalvage;
+    cfg.fault.schedule.push_back(
+        {us(2), FaultKind::kLinkDown, topo.links()[0].r1, topo.links()[0].r2});
+    cfg.fault.schedule.push_back(
+        {us(4), FaultKind::kLinkUp, topo.links()[0].r1, topo.links()[0].r2});
+    SimStack stack(topo, RoutingStrategy::kUgal, cfg);
+    results[i++] = stack.run_open_loop(uni, 0.5, us(6), us(1));
+  }
+  expect_identical(results[0], results[1]);
+  EXPECT_GT(results[0].faults.faults_applied, 0);
+}
+
+TEST(DeterminismDigest, SweepDigestsStableAcrossJobs) {
+  // Per-point digests are a pure function of (base seed, point index); the
+  // thread count and scheduling interleave must not reach any event stream.
+  const Topology sf = build_slim_fly(5);
+  const Topology ml = build_mlfm(4);
+  UniformTraffic uni_sf(sf.num_nodes());
+  UniformTraffic uni_ml(ml.num_nodes());
+
+  SweepSeriesSpec a;
+  a.label = "sf-min";
+  a.topo = &sf;
+  a.strategy = RoutingStrategy::kMinimal;
+  a.pattern = &uni_sf;
+  a.loads = {0.3, 0.6};
+  SweepSeriesSpec b;
+  b.label = "ml-ugal";
+  b.topo = &ml;
+  b.strategy = RoutingStrategy::kUgal;
+  b.pattern = &uni_ml;
+  b.loads = {0.5};
+
+  auto digests_with_jobs = [&](int jobs, SchedulerKind kind) {
+    SweepRunOptions opts;
+    opts.jobs = jobs;
+    opts.config = digest_config(kind, 21);
+    opts.duration = us(5);
+    opts.warmup = us(1);
+    SweepRunner runner(opts);
+    const auto out = runner.run({a, b});
+    std::vector<std::uint64_t> digests;
+    for (const auto& series : out) {
+      for (const SweepPoint& pt : series) {
+        EXPECT_NE(pt.result.event_digest, 0u);
+        digests.push_back(pt.result.event_digest);
+      }
+    }
+    return digests;
+  };
+
+  const auto serial = digests_with_jobs(1, SchedulerKind::kWheel);
+  const auto parallel = digests_with_jobs(3, SchedulerKind::kWheel);
+  const auto heap_parallel = digests_with_jobs(3, SchedulerKind::kHeap);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_EQ(serial, heap_parallel);
+}
+
+}  // namespace
+}  // namespace d2net

@@ -159,7 +159,8 @@ TEST(VcPolicy, HopIndexAssignsIncreasingVcs) {
   r.routers = {1, 2, 3, 4, 5};
   r.intermediate_pos = 2;
   assign_vcs(r, VcPolicy::kHopIndex);
-  EXPECT_EQ(r.vcs, (std::vector<std::uint8_t>{0, 1, 2, 3}));
+  EXPECT_EQ(std::vector<std::uint8_t>(r.vcs.begin(), r.vcs.end()),
+            (std::vector<std::uint8_t>{0, 1, 2, 3}));
 }
 
 TEST(VcPolicy, PhasePolicySplitsAtIntermediate) {
@@ -167,12 +168,14 @@ TEST(VcPolicy, PhasePolicySplitsAtIntermediate) {
   r.routers = {1, 2, 3, 4, 5};
   r.intermediate_pos = 2;
   assign_vcs(r, VcPolicy::kPhase);
-  EXPECT_EQ(r.vcs, (std::vector<std::uint8_t>{0, 0, 1, 1}));
+  EXPECT_EQ(std::vector<std::uint8_t>(r.vcs.begin(), r.vcs.end()),
+            (std::vector<std::uint8_t>{0, 0, 1, 1}));
   Route m;
   m.routers = {1, 2, 3};
   m.intermediate_pos = -1;
   assign_vcs(m, VcPolicy::kPhase);
-  EXPECT_EQ(m.vcs, (std::vector<std::uint8_t>{0, 0}));
+  EXPECT_EQ(std::vector<std::uint8_t>(m.vcs.begin(), m.vcs.end()),
+            (std::vector<std::uint8_t>{0, 0}));
 }
 
 // ------------------------------------------------------------------- UGAL

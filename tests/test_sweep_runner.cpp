@@ -149,11 +149,20 @@ TEST(EventQueue4ary, MatchesReferenceHeapOnRandomStress) {
 }
 
 TEST(EventQueue4ary, NextTimeAndPopThrowOnEmpty) {
+  // Empty-queue misuse is guarded by D2NET_HOT_ASSERT: fatal only in
+  // Debug/sanitizer builds (undefined in Release, where the engine's
+  // queue_.empty() checks make the calls unreachable).
+#if defined(D2NET_DEBUG_ASSERTS) || !defined(NDEBUG)
   EventQueue q;
   EXPECT_THROW(q.next_time(), InternalError);
   EXPECT_THROW(q.pop(), InternalError);
   q.push(5, EventType::kNicFree, 0);
   EXPECT_EQ(q.next_time(), 5);
+#else
+  EventQueue q;
+  q.push(5, EventType::kNicFree, 0);
+  EXPECT_EQ(q.next_time(), 5);
+#endif
 }
 
 TEST(EventQueue4ary, ClearKeepsFifoTieBreakMonotone) {
