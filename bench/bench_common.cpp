@@ -19,6 +19,7 @@ SweepRunOptions BenchOptions::sweep_options() const {
   SweepRunOptions out;
   out.jobs = jobs;
   out.config.seed = seed;
+  out.config.shards = shards;
   out.config.metrics.enabled = metrics;
   if (metrics_sample > 0) out.config.metrics.sample_period = metrics_sample;
   out.duration = duration;
@@ -37,6 +38,10 @@ void add_standard_flags(Cli& cli) {
       .flag("jobs", std::int64_t{0},
             "concurrent sweep points (0 = all hardware threads); results "
             "are identical for every value")
+      .flag("shards", std::int64_t{1},
+            "worker event cores per simulation (conservative time-window "
+            "sharding; results are bit-identical for every value, see "
+            "docs/sharded_sim.md)")
       .flag("json", std::string{},
             "write per-sweep timing/result JSON to this path")
       .flag("metrics", false,
@@ -67,6 +72,25 @@ BenchOptions read_standard_flags(const Cli& cli) {
   opts.csv = cli.get_bool("csv");
   opts.jobs = static_cast<int>(cli.get_int("jobs"));
   D2NET_REQUIRE(opts.jobs >= 0, "--jobs must be >= 0");
+  opts.shards = static_cast<int>(cli.get_int("shards"));
+  D2NET_REQUIRE(opts.shards >= 1, "--shards must be >= 1");
+  // With explicit --jobs the user overrides the auto-division; flag the
+  // combination that lands shards x jobs threads on fewer cores. --jobs 0
+  // never oversubscribes: SweepRunner divides the machine by shards.
+  if (opts.jobs > 0 && opts.shards > 1) {
+    const long long threads =
+        static_cast<long long>(opts.shards) * opts.jobs;
+    const int hw = ThreadPool::hardware_concurrency();
+    static bool warned = false;
+    if (threads > hw && !warned) {
+      warned = true;
+      std::fprintf(stderr,
+                   "warning: --shards %d x --jobs %d = %lld simulation "
+                   "threads exceeds hardware concurrency (%d); expect "
+                   "contention, not speedup\n",
+                   opts.shards, opts.jobs, threads, hw);
+    }
+  }
   opts.json_path = cli.get_string("json");
   opts.metrics = cli.get_bool("metrics");
   const double sample_us = cli.get_double("metrics-sample-us");
@@ -174,7 +198,32 @@ void write_metrics(std::ostream& os, const SimMetrics& m) {
     os << (i ? ", " : "") << "{\"t_us\": " << to_us(m.occupancy[i].time)
        << ", \"bytes\": " << m.occupancy[i].buffered_bytes << "}";
   }
-  os << "], \"ports\": [";
+  os << "]";
+  // Sharded runs additionally report window-barrier synchronization and
+  // per-shard engine sizing (absent for serial runs, keeping their output
+  // byte-stable across versions).
+  if (m.sharding.shards > 1) {
+    const ShardingMetrics& sh = m.sharding;
+    os << ", \"sharding\": {\"shards\": " << sh.shards
+       << ", \"windows\": " << sh.windows
+       << ", \"mean_window_width_ns\": " << sh.mean_window_width_ns
+       << ", \"cross_shard_messages\": " << sh.cross_shard_messages
+       << ", \"shards_detail\": [";
+    for (std::size_t s = 0; s < sh.shard.size(); ++s) {
+      const ShardMetrics& sm = sh.shard[s];
+      os << (s ? ", " : "") << "{\"shard\": " << s
+         << ", \"routers\": " << sm.routers << ", \"nodes\": " << sm.nodes
+         << ", \"events\": " << sm.events
+         << ", \"messages_sent\": " << sm.messages_sent
+         << ", \"capacities\": {\"event_queue_reserved\": "
+         << sm.capacities.event_queue_reserved
+         << ", \"packet_pool_reserved\": " << sm.capacities.packet_pool_reserved
+         << ", \"packet_pool_slots\": " << sm.capacities.packet_pool_slots
+         << ", \"voq_cells\": " << sm.capacities.voq_cells << "}}";
+    }
+    os << "]}";
+  }
+  os << ", \"ports\": [";
   bool first_port = true;
   for (const PortMetrics& pm : m.ports) {
     if (pm.packets_forwarded == 0 && pm.credit_stall_ps == 0) continue;
@@ -267,8 +316,9 @@ std::string render_point_json(const SweepPoint& pt) {
 
 std::string bench_manifest(const std::string& bench_name, const BenchOptions& opts) {
   // Everything that changes simulated results belongs here; presentation
-  // knobs (--json path, --csv, --jobs) deliberately do not — results are
-  // identical for every value, so resuming across them is safe.
+  // knobs (--json path, --csv, --jobs, --shards) deliberately do not —
+  // results are identical for every value (for --shards that is the
+  // digest-verified sharding guarantee), so resuming across them is safe.
   std::ostringstream os;
   os.precision(17);
   os << "bench=" << bench_name << "\n"
@@ -318,6 +368,7 @@ void BenchReport::write() const {
   os << "  \"bench\": \"" << json_escape(bench_name_) << "\",\n";
   os << "  \"jobs\": " << (sweeps_.empty() ? opts_.jobs : sweeps_.front().stats.jobs)
      << ",\n";
+  os << "  \"shards\": " << opts_.shards << ",\n";
   os << "  \"seed\": " << opts_.seed << ",\n";
   os << "  \"full\": " << (opts_.full ? "true" : "false") << ",\n";
   os << "  \"duration_us\": " << to_us(opts_.duration) << ",\n";

@@ -26,6 +26,11 @@ struct BenchOptions {
   std::uint64_t seed = 1;
   bool csv = false;          ///< additionally dump CSV after each table
   int jobs = 0;              ///< sweep-point parallelism; 0 = all cores
+  /// Worker event cores per simulation (SimConfig::shards). Results are
+  /// bit-identical for every value; jobs auto-sizing (--jobs 0) divides the
+  /// machine by this so shards x points compose without oversubscription
+  /// (see docs/sharded_sim.md).
+  int shards = 1;
   std::string json_path;     ///< write timing/result JSON here ("" = off)
   bool metrics = false;      ///< collect per-port/VC detail (see docs/observability.md)
   TimePs metrics_sample = 0; ///< occupancy sampling period with --metrics
@@ -97,7 +102,11 @@ Topology paper_oft(bool full);
 ///             "bytes", "credit_stall_ns", "occ_mean_bytes", "occ_max_bytes",
 ///             "vcs": [{"vc", "packets", "bytes", "minimal", "indirect"}]}]}
 /// (only ports that forwarded traffic or stalled on credit are listed; see
-/// docs/observability.md for semantics).
+/// docs/observability.md for semantics). Points simulated with --shards > 1
+/// additionally carry metrics.sharding: {"shards", "windows",
+/// "mean_window_width_ns", "cross_shard_messages", "shards_detail":
+/// [{"shard", "routers", "nodes", "events", "messages_sent",
+///   "capacities": {...}}]} (see docs/sharded_sim.md).
 class BenchReport {
  public:
   /// With opts.journal_dir set, opens (or resumes) the crash-safe sweep

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "gf/galois_field.h"
 #include "partition/bisection_bandwidth.h"
 #include "routing/factory.h"
@@ -258,6 +259,24 @@ double best_ns_per_op(std::int64_t iters, std::int64_t ops_per_iter, Body&& body
   return best;
 }
 
+/// Self-relative sharded events/sec on the paper-scale saturation scenario
+/// (SF q=13, ~3.4k nodes, uniform, load 0.9). One run per shard count —
+/// the runs are long enough that best-of-N would dominate snapshot time.
+std::int64_t sharded_events_per_sec(const Topology& topo, int shards) {
+  UniformTraffic uni(topo.num_nodes());
+  SimConfig cfg;
+  cfg.seed = 1;
+  cfg.shards = shards;
+  SimStack stack(topo, RoutingStrategy::kMinimal, cfg);
+  const double t0 = now_seconds();
+  const OpenLoopResult res = stack.run_open_loop(uni, 0.9, us(4), us(1));
+  const double dt = now_seconds() - t0;
+  return dt > 0.0
+             ? static_cast<std::int64_t>(
+                   static_cast<double>(res.events_processed) / dt)
+             : 0;
+}
+
 int write_json_snapshot(const std::string& path) {
   const Topology topo = build_slim_fly(7);
 
@@ -325,6 +344,20 @@ int write_json_snapshot(const std::string& path) {
   const double ns_heap = queue_ns(SchedulerKind::kHeap);
   const double ns_wheel = queue_ns(SchedulerKind::kWheel);
 
+  // Paper-scale sharded-vs-serial comparison. The speedup ratios are only
+  // meaningful relative to the recorded core count: lanes time-slice on a
+  // host with fewer physical cores than shards, so the ratio saturates at
+  // ~1.0 on one core and approaches the shard count only with >= `shards`
+  // cores (see docs/sharded_sim.md).
+  const Topology paper = build_slim_fly(13);
+  const std::int64_t eps_sh1 = sharded_events_per_sec(paper, 1);
+  const std::int64_t eps_sh2 = sharded_events_per_sec(paper, 2);
+  const std::int64_t eps_sh4 = sharded_events_per_sec(paper, 4);
+  const auto speedup = [&](std::int64_t eps) {
+    return eps_sh1 > 0 ? static_cast<double>(eps) / static_cast<double>(eps_sh1)
+                       : 0.0;
+  };
+
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "bench_micro_core: cannot open %s\n", path.c_str());
@@ -339,6 +372,18 @@ int write_json_snapshot(const std::string& path) {
                static_cast<long long>(eps_min));
   std::fprintf(f, "  \"events_per_sec_ugal\": %lld,\n",
                static_cast<long long>(eps_ugal));
+  std::fprintf(f,
+               "  \"sharded_scenario\": \"slim_fly q=13, uniform, load 0.9, "
+               "4us run / 1us warmup, seed 1, single run\",\n");
+  std::fprintf(f, "  \"cores\": %d,\n", ThreadPool::hardware_concurrency());
+  std::fprintf(f, "  \"events_per_sec_sharded_serial\": %lld,\n",
+               static_cast<long long>(eps_sh1));
+  std::fprintf(f, "  \"events_per_sec_sharded_2\": %lld,\n",
+               static_cast<long long>(eps_sh2));
+  std::fprintf(f, "  \"events_per_sec_sharded_4\": %lld,\n",
+               static_cast<long long>(eps_sh4));
+  std::fprintf(f, "  \"speedup_sharded_2\": %.3f,\n", speedup(eps_sh2));
+  std::fprintf(f, "  \"speedup_sharded_4\": %.3f,\n", speedup(eps_sh4));
   std::fprintf(f, "  \"ns_voq_push_pop\": %.2f,\n", ns_voq);
   std::fprintf(f, "  \"ns_pool_alloc_release\": %.2f,\n", ns_pool);
   std::fprintf(f, "  \"ns_csr_next_hops\": %.2f,\n", ns_csr);
@@ -349,6 +394,11 @@ int write_json_snapshot(const std::string& path) {
   std::printf("events/sec: minimal=%lld ugal=%lld -> %s\n",
               static_cast<long long>(eps_min), static_cast<long long>(eps_ugal),
               path.c_str());
+  std::printf("sharded events/sec (SF q=13, %d core(s)): serial=%lld 2=%lld "
+              "(%.2fx) 4=%lld (%.2fx)\n",
+              ThreadPool::hardware_concurrency(), static_cast<long long>(eps_sh1),
+              static_cast<long long>(eps_sh2), speedup(eps_sh2),
+              static_cast<long long>(eps_sh4), speedup(eps_sh4));
   return 0;
 }
 

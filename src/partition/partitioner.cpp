@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 #include <map>
 #include <numeric>
 #include <queue>
@@ -135,9 +136,9 @@ Coarsening coarsen(const CsrGraph& g, Rng& rng) {
   return out;
 }
 
-/// Greedy BFS region growing from a random seed.
-std::vector<std::uint8_t> grow_initial(const CsrGraph& g, Rng& rng) {
-  const std::int64_t total = g.total_vertex_weight();
+/// Greedy BFS region growing from a random seed until side 0 reaches the
+/// requested target weight.
+std::vector<std::uint8_t> grow_initial(const CsrGraph& g, Rng& rng, std::int64_t target0) {
   std::vector<std::uint8_t> side(g.num_vertices, 1);
   std::vector<bool> visited(g.num_vertices, false);
   std::int64_t w0 = 0;
@@ -145,7 +146,7 @@ std::vector<std::uint8_t> grow_initial(const CsrGraph& g, Rng& rng) {
   const int seed = static_cast<int>(rng.next_below(g.num_vertices));
   q.push(seed);
   visited[seed] = true;
-  while (w0 * 2 < total) {
+  while (w0 < target0) {
     int u;
     if (q.empty()) {
       // Disconnected remainder: restart from any unvisited vertex.
@@ -176,9 +177,10 @@ std::vector<std::uint8_t> grow_initial(const CsrGraph& g, Rng& rng) {
 }
 
 /// One Fiduccia–Mattheyses pass with rollback to the best prefix.
-/// Returns the cut improvement (>= 0).
+/// Imbalance is measured as 2|w0 - target0| (for target0 = total/2 this is
+/// the classic |w0 - w1|). Returns the cut improvement (>= 0).
 std::int64_t fm_pass(const CsrGraph& g, std::vector<std::uint8_t>& side,
-                     std::int64_t max_imbalance_weight) {
+                     std::int64_t max_imbalance_weight, std::int64_t target0) {
   const int n = g.num_vertices;
   std::vector<std::int64_t> gain(n, 0);
   std::int64_t weight[2] = {0, 0};
@@ -188,6 +190,7 @@ std::int64_t fm_pass(const CsrGraph& g, std::vector<std::uint8_t>& side,
       gain[u] += side[g.adjncy[e]] != side[u] ? g.adjwgt[e] : -g.adjwgt[e];
     }
   }
+  const auto measure = [target0](std::int64_t w0) { return 2 * std::abs(w0 - target0); };
   // Exploration slack: FM must be able to leave a perfectly balanced state,
   // so intermediate states may be imbalanced by up to two of the heaviest
   // vertices; only prefixes within the *requested* tolerance (or at least
@@ -195,7 +198,7 @@ std::int64_t fm_pass(const CsrGraph& g, std::vector<std::uint8_t>& side,
   std::int64_t max_vwgt = 1;
   for (int u = 0; u < n; ++u) max_vwgt = std::max<std::int64_t>(max_vwgt, g.vwgt[u]);
   const std::int64_t explore_slack = std::max(max_imbalance_weight, 2 * max_vwgt);
-  const std::int64_t start_diff = std::abs(weight[1] - weight[0]);
+  const std::int64_t start_diff = measure(weight[0]);
   const std::int64_t accept_diff = std::max(max_imbalance_weight, start_diff);
 
   // Lazy max-heap of (gain, vertex); entries are validated on pop.
@@ -217,9 +220,9 @@ std::int64_t fm_pass(const CsrGraph& g, std::vector<std::uint8_t>& side,
     if (moved[u] || gv != gain[u]) continue;  // stale entry
     // Balance feasibility: moving u from s to 1-s.
     const int s = side[u];
-    const std::int64_t new_diff =
-        std::abs((weight[1 - s] + g.vwgt[u]) - (weight[s] - g.vwgt[u]));
-    const std::int64_t old_diff = std::abs(weight[1] - weight[0]);
+    const std::int64_t new_w0 = s == 0 ? weight[0] - g.vwgt[u] : weight[0] + g.vwgt[u];
+    const std::int64_t new_diff = measure(new_w0);
+    const std::int64_t old_diff = measure(weight[0]);
     if (new_diff > explore_slack && new_diff >= old_diff) continue;
 
     moved[u] = true;
@@ -264,14 +267,16 @@ std::vector<std::uint8_t> bisect_recursive(const CsrGraph& g, const BisectionOpt
   const std::int64_t total = g.total_vertex_weight();
   const auto max_imb =
       std::max<std::int64_t>(1, static_cast<std::int64_t>(opts.max_imbalance * total));
+  const auto target0 =
+      static_cast<std::int64_t>(std::llround(opts.target_fraction * static_cast<double>(total)));
 
   std::vector<std::uint8_t> side;
   if (g.num_vertices <= opts.coarsen_to || depth > 64) {
     std::int64_t best_cut = -1;
     for (int t = 0; t < opts.initial_tries; ++t) {
-      std::vector<std::uint8_t> cand = grow_initial(g, rng);
+      std::vector<std::uint8_t> cand = grow_initial(g, rng, target0);
       for (int pass = 0; pass < opts.refine_passes; ++pass) {
-        if (fm_pass(g, cand, max_imb) == 0) break;
+        if (fm_pass(g, cand, max_imb, target0) == 0) break;
       }
       const std::int64_t c = cut_weight(g, cand);
       if (best_cut < 0 || c < best_cut) {
@@ -290,11 +295,13 @@ std::vector<std::uint8_t> bisect_recursive(const CsrGraph& g, const BisectionOpt
     direct.coarsen_to = g.num_vertices;
     return bisect_recursive(g, direct, rng, depth + 1);
   }
+  // Total vertex weight is preserved by contraction, so target0 transfers
+  // unchanged to every level.
   const std::vector<std::uint8_t> coarse_side = bisect_recursive(c.graph, opts, rng, depth + 1);
   side.resize(g.num_vertices);
   for (int u = 0; u < g.num_vertices; ++u) side[u] = coarse_side[c.fine_to_coarse[u]];
   for (int pass = 0; pass < opts.refine_passes; ++pass) {
-    if (fm_pass(g, side, max_imb) == 0) break;
+    if (fm_pass(g, side, max_imb, target0) == 0) break;
   }
   return side;
 }
@@ -303,9 +310,91 @@ std::vector<std::uint8_t> bisect_recursive(const CsrGraph& g, const BisectionOpt
 
 BisectionResult bisect(const CsrGraph& graph, const BisectionOptions& options) {
   D2NET_REQUIRE(graph.num_vertices > 1, "bisection needs at least two vertices");
+  D2NET_REQUIRE(options.target_fraction > 0.0 && options.target_fraction < 1.0,
+                "target_fraction must be in (0, 1)");
   Rng rng(options.seed);
   std::vector<std::uint8_t> side = bisect_recursive(graph, options, rng, 0);
   return finalize_result(graph, std::move(side));
+}
+
+namespace {
+
+/// Extracts the side-s induced subgraph (cut edges dropped) and records the
+/// subgraph-to-parent vertex mapping.
+CsrGraph extract_side(const CsrGraph& g, const std::vector<std::uint8_t>& side, int s,
+                      std::vector<int>& to_parent) {
+  std::vector<int> local(g.num_vertices, -1);
+  to_parent.clear();
+  for (int u = 0; u < g.num_vertices; ++u) {
+    if (side[u] == s) {
+      local[u] = static_cast<int>(to_parent.size());
+      to_parent.push_back(u);
+    }
+  }
+  std::vector<int> vwgt(to_parent.size());
+  for (std::size_t i = 0; i < to_parent.size(); ++i) vwgt[i] = g.vwgt[to_parent[i]];
+  std::vector<std::array<int, 3>> edges;
+  for (int u = 0; u < g.num_vertices; ++u) {
+    if (local[u] < 0) continue;
+    for (int e = g.xadj[u]; e < g.xadj[u + 1]; ++e) {
+      const int v = g.adjncy[e];
+      if (u < v && local[v] >= 0) edges.push_back({local[u], local[v], g.adjwgt[e]});
+    }
+  }
+  return make_csr(static_cast<int>(to_parent.size()), edges, std::move(vwgt));
+}
+
+/// Recursive bisection: split k parts as floor(k/2) / ceil(k/2) with a
+/// weight-proportional target fraction, so odd k stays balanced.
+void kway_recurse(const CsrGraph& g, const std::vector<int>& to_global, int k, int part_base,
+                  const BisectionOptions& opts, std::vector<int>& part) {
+  if (k <= 1) {
+    for (int v = 0; v < g.num_vertices; ++v) part[to_global[v]] = part_base;
+    return;
+  }
+  if (g.num_vertices <= k) {
+    // Degenerate: one vertex per part (trailing parts stay empty).
+    for (int v = 0; v < g.num_vertices; ++v) part[to_global[v]] = part_base + v;
+    return;
+  }
+  const int k0 = k / 2;
+  BisectionOptions level = opts;
+  level.target_fraction = static_cast<double>(k0) / static_cast<double>(k);
+  const BisectionResult r = bisect(g, level);
+  for (int s = 0; s < 2; ++s) {
+    std::vector<int> to_parent;
+    const CsrGraph sub = extract_side(g, r.side, s, to_parent);
+    std::vector<int> sub_to_global(to_parent.size());
+    for (std::size_t i = 0; i < to_parent.size(); ++i) {
+      sub_to_global[i] = to_global[to_parent[i]];
+    }
+    kway_recurse(sub, sub_to_global, s == 0 ? k0 : k - k0,
+                 s == 0 ? part_base : part_base + k0, opts, part);
+  }
+}
+
+}  // namespace
+
+KwayResult partition_kway(const CsrGraph& graph, int k, const BisectionOptions& options) {
+  D2NET_REQUIRE(k >= 1, "partition_kway needs k >= 1");
+  D2NET_REQUIRE(graph.num_vertices >= 1, "partition_kway needs a non-empty graph");
+  KwayResult r;
+  r.part.assign(graph.num_vertices, -1);
+  std::vector<int> identity(graph.num_vertices);
+  std::iota(identity.begin(), identity.end(), 0);
+  kway_recurse(graph, identity, k, 0, options, r.part);
+  r.weights.assign(k, 0);
+  for (int u = 0; u < graph.num_vertices; ++u) {
+    D2NET_REQUIRE(r.part[u] >= 0 && r.part[u] < k, "internal: unassigned vertex");
+    r.weights[r.part[u]] += graph.vwgt[u];
+  }
+  for (int u = 0; u < graph.num_vertices; ++u) {
+    for (int e = graph.xadj[u]; e < graph.xadj[u + 1]; ++e) {
+      const int v = graph.adjncy[e];
+      if (u < v && r.part[u] != r.part[v]) r.cut_weight += graph.adjwgt[e];
+    }
+  }
+  return r;
 }
 
 }  // namespace d2net

@@ -43,10 +43,18 @@ struct SimConfig {
   bool cut_through = false;
 
   /// Event-scheduling structure (see sim/event_queue.h). Both realize the
-  /// exact same (time, seq) event order — runs are bit-identical either way
-  /// (enforced by tests/test_determinism_digest.cpp); the wheel is faster
-  /// at saturation, the heap is the cross-check reference.
+  /// exact same (time, okey, seq) event order — runs are bit-identical
+  /// either way (enforced by tests/test_determinism_digest.cpp); the wheel
+  /// is faster at saturation, the heap is the cross-check reference.
   SchedulerKind scheduler = SchedulerKind::kWheel;
+
+  /// Worker event cores one simulation is partitioned across (conservative
+  /// time-window synchronization, lookahead = link_latency; see
+  /// docs/sharded_sim.md). 1 = the plain serial engine. Sharded runs
+  /// reproduce the serial event digest bit-for-bit; runs that need a global
+  /// event view (UGAL-G routing, packet tracing, exchange workloads) demote
+  /// to serial with a stderr note. Clamped to the router count.
+  int shards = 1;
 
   /// Fold an FNV-1a digest over the dispatched event stream (time, seq,
   /// type, operands; sampling/watchdog ticks excluded like they are from

@@ -6,8 +6,7 @@
 //
 //  * SchedulerKind::kHeap — an implicit 4-ary min-heap over a flat vector.
 //    The shallow tree halves the cache lines touched per sift relative to
-//    std::priority_queue's binary heap, and the 32-byte Event packs two
-//    siblings per line. pop()/push() sift with a hole instead of swapping,
+//    std::priority_queue's binary heap. pop()/push() sift with a hole instead of swapping,
 //    so each level moves one Event instead of three.
 //
 //  * SchedulerKind::kWheel — a two-level bucketed near-future wheel in
@@ -22,9 +21,18 @@
 //    lands within a few L1 buckets of `now`, so steady-state cost is a
 //    ring append plus an amortized small sort instead of an O(log n) sift.
 //
-// Both schedulers realize the exact same (time, seq) total order, so a run
-// is bit-identical under either — enforced by tests/test_determinism_digest
-// via an FNV-1a digest of the full dispatched event stream.
+// Both schedulers realize the exact same (time, okey, seq) total order, so
+// a run is bit-identical under either — enforced by
+// tests/test_determinism_digest via an FNV-1a digest of the full dispatched
+// event stream. The okey (ordering key) ranks same-time events by a
+// content-derived identity instead of raw insertion order, which makes the
+// realized order independent of *where* an event was pushed from — the
+// property sharded execution needs so that cross-shard arrivals delivered
+// at a window barrier sort exactly where the serial engine would have
+// placed them (see docs/sharded_sim.md). Two distinct pending events never
+// tie on (time, okey) in-bounds (the key packs the event's full identity),
+// so seq only orders byte-identical duplicates, whose relative order cannot
+// matter.
 #pragma once
 
 #include <algorithm>
@@ -64,13 +72,37 @@ enum class EventType : std::uint8_t {
 
 struct Event {
   TimePs time = 0;
-  std::uint64_t seq = 0;  ///< insertion order; breaks time ties FIFO
+  /// Content-derived ordering key: primary tie-break at equal times (see
+  /// pack_event_okey / the file comment). High byte is the EventType.
+  std::uint64_t okey = 0;
+  std::uint64_t seq = 0;  ///< insertion order; final FIFO tie-break
   EventType type{};
   std::int32_t a = 0;
   std::int32_t b = 0;
   std::int32_t c = 0;
   std::int32_t d = 0;
 };
+
+/// Ordering key for events whose operands are stable entity identities
+/// (everything except the packet-carrying kinds, whose `a` is a pool slot):
+/// type:8 | a:22 | b:12 | c:4 | d:18. NetworkSim enforces these widths when
+/// sharding; a serial run with out-of-range operands merely aliases keys and
+/// falls back to the (still deterministic) seq tie-break.
+inline std::uint64_t pack_event_okey(EventType type, std::int32_t a, std::int32_t b,
+                                     std::int32_t c, std::int32_t d) {
+  return (static_cast<std::uint64_t>(type) << 56) |
+         ((static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) & 0x3FFFFFu) << 34) |
+         ((static_cast<std::uint64_t>(static_cast<std::uint32_t>(b)) & 0xFFFu) << 22) |
+         ((static_cast<std::uint64_t>(static_cast<std::uint32_t>(c)) & 0xFu) << 18) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(d)) & 0x3FFFFu);
+}
+
+/// Ordering key for packet-carrying events (kArriveRouter, kArriveNode,
+/// kRetryInject): the packet's pool-independent uid replaces the operand
+/// pack, so the key survives migration between per-shard pools.
+inline std::uint64_t pack_packet_okey(EventType type, std::uint64_t uid) {
+  return (static_cast<std::uint64_t>(type) << 56) | (uid & 0x00FFFFFFFFFFFFFFull);
+}
 
 /// Which scheduling structure EventQueue uses (see the file comment).
 enum class SchedulerKind : std::uint8_t {
@@ -88,9 +120,15 @@ class EventQueue {
   }
   SchedulerKind scheduler() const { return kind_; }
 
+  /// Convenience push for identity-operand events (computes the okey).
   void push(TimePs time, EventType type, std::int32_t a = 0, std::int32_t b = 0,
             std::int32_t c = 0, std::int32_t d = 0) {
-    const Event e{time, next_seq_++, type, a, b, c, d};
+    push_keyed(time, pack_event_okey(type, a, b, c, d), type, a, b, c, d);
+  }
+
+  void push_keyed(TimePs time, std::uint64_t okey, EventType type, std::int32_t a = 0,
+                  std::int32_t b = 0, std::int32_t c = 0, std::int32_t d = 0) {
+    const Event e{time, okey, next_seq_++, type, a, b, c, d};
     ++size_;
     if (kind_ == SchedulerKind::kHeap) {
       push_heap(e);
@@ -99,9 +137,12 @@ class EventQueue {
     if (size_ == 1) reanchor(time);
     if (time < l1_start_) {
       // Lands in (or before) the active bucket: insertion-sort into the
-      // unconsumed tail. The new event carries the largest seq, so
-      // upper_bound lands at/after cur_pos_ (no pending event precedes an
-      // already-popped time).
+      // unconsumed tail. Searching from cur_pos_ clamps an event that would
+      // sort before already-consumed entries (a same-time push with a
+      // smaller okey than the event being dispatched) to "popped next" —
+      // exactly where the heap would surface it, since every
+      // already-consumed entry was the minimum of the pending set when it
+      // was popped.
       cur_.insert(std::upper_bound(cur_.begin() + static_cast<std::ptrdiff_t>(cur_pos_),
                                    cur_.end(), e, before),
                   e);
@@ -137,6 +178,16 @@ class EventQueue {
     if (kind_ == SchedulerKind::kHeap) return heap_.front().time;
     if (cur_pos_ >= cur_.size()) advance();
     return cur_[cur_pos_].time;
+  }
+
+  /// The event pop() would return next, without removing it (the sharded
+  /// coordinator's serialized-timestamp step interleaves several queues by
+  /// comparing heads). Same const caveat as next_time().
+  const Event& peek() {
+    D2NET_HOT_ASSERT(size_ > 0, "peek() on empty EventQueue");
+    if (kind_ == SchedulerKind::kHeap) return heap_.front();
+    if (cur_pos_ >= cur_.size()) advance();
+    return cur_[cur_pos_];
   }
 
   /// Pre-sizes the backing stores (one sim reuses the queue across runs).
@@ -192,6 +243,7 @@ class EventQueue {
 
   static bool before(const Event& x, const Event& y) {
     if (x.time != y.time) return x.time < y.time;
+    if (x.okey != y.okey) return x.okey < y.okey;
     return x.seq < y.seq;
   }
 

@@ -90,12 +90,33 @@ struct EngineCapacities {
   std::size_t voq_cells = 0;             ///< intrusive VOQ cells (in x vc x out, all routers)
 };
 
+/// One shard (worker event core) of a sharded run: its slice of the router
+/// set and the engine storage its private lane grew to.
+struct ShardMetrics {
+  int routers = 0;                 ///< routers owned by this shard
+  int nodes = 0;                   ///< endpoints attached to those routers
+  std::int64_t events = 0;         ///< events dispatched on this lane
+  std::int64_t messages_sent = 0;  ///< cross-shard packets/credits sent
+  EngineCapacities capacities;     ///< per-lane queue/pool/VOQ sizing
+};
+
+/// Window-barrier synchronization counters for a sharded run (see
+/// docs/sharded_sim.md). All zero for serial runs.
+struct ShardingMetrics {
+  int shards = 1;                        ///< lanes actually used (after demotion/clamping)
+  std::int64_t windows = 0;              ///< conservative time windows executed
+  double mean_window_width_ns = 0.0;     ///< mean simulated-time span per window
+  std::int64_t cross_shard_messages = 0; ///< total mailbox deliveries (all barriers)
+  std::vector<ShardMetrics> shard;       ///< per-shard breakdown, size `shards`
+};
+
 /// Everything the instrumentation collected for one run. Attached to the
 /// result as shared_ptr<const SimMetrics> so copying results stays cheap.
 struct SimMetrics {
   TimePs sample_period = 0;
   EngineCapacities capacities;
   RunPhaseBreakdown phases;
+  ShardingMetrics sharding;
   std::vector<PortMetrics> ports;          ///< ordered by (router, out port)
   std::vector<OccupancySample> occupancy;  ///< whole-run, one entry per sample tick
   /// Scalar sinks: counters "grants", "credit_blocked_skips",

@@ -15,6 +15,12 @@ struct Packet {
   int src_node = -1;
   int dst_node = -1;
   int size = 0;  ///< bytes
+  /// Pool-independent identity: (src_node << 34) | per-node injection
+  /// counter, assigned once at successful injection. Event ordering keys
+  /// and the event digest use it instead of the pool slot, so sharded runs
+  /// (per-shard pools, packets migrating between them) realize the exact
+  /// ordering and digest of the serial engine.
+  std::uint64_t uid = 0;
   TimePs gen_time = 0;     ///< when the workload created it
   TimePs inject_time = 0;  ///< when the NIC started serializing it
   Route route;

@@ -1,5 +1,6 @@
 #include "sim/sweep_runner.h"
 
+#include <algorithm>
 #include <chrono>
 #include <sstream>
 #include <stdexcept>
@@ -22,7 +23,15 @@ std::uint64_t derive_point_seed(std::uint64_t base_seed, std::uint64_t point_ind
 
 SweepRunner::SweepRunner(SweepRunOptions opts) : opts_(std::move(opts)) {
   D2NET_REQUIRE(opts_.jobs >= 0, "jobs must be >= 0 (0 = hardware concurrency)");
-  jobs_ = opts_.jobs == 0 ? ThreadPool::hardware_concurrency() : opts_.jobs;
+  if (opts_.jobs == 0) {
+    // Auto-sizing composes with per-point sharding: each in-flight point
+    // runs config.shards lanes, so divide the machine between them instead
+    // of oversubscribing shards x points threads onto the same cores.
+    const int shards = opts_.config.shards > 1 ? opts_.config.shards : 1;
+    jobs_ = std::max(1, ThreadPool::hardware_concurrency() / shards);
+  } else {
+    jobs_ = opts_.jobs;
+  }
 }
 
 std::vector<std::vector<SweepPoint>> SweepRunner::run(

@@ -1,12 +1,15 @@
 // Golden event-digest determinism: the bucketed near-future wheel must
-// dispatch the exact same (time, seq, type, a..d) event stream as the plain
-// 4-ary heap, and sweep parallelism must not perturb any point's stream.
+// dispatch the exact same (time, okey, operands) event stream as the plain
+// 4-ary heap, sweep parallelism must not perturb any point's stream, and a
+// sharded run (SimConfig::shards > 1, conservative time windows) must
+// reproduce the serial run's stream bit for bit.
 //
 // The digest (OpenLoopResult::event_digest, FNV-1a over every dispatched
-// event, collected when SimConfig::collect_event_digest is set) is
-// order-sensitive: a single swapped tie, dropped event, or field change
-// flips it. Equal digests therefore certify bit-identical simulations, not
-// merely equal summary statistics.
+// event's time, ordering key, and non-pool-slot operands, collected when
+// SimConfig::collect_event_digest is set) is order-sensitive: a single
+// swapped tie, dropped event, or field change flips it. Equal digests
+// therefore certify bit-identical simulations, not merely equal summary
+// statistics.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -102,6 +105,85 @@ TEST(DeterminismDigest, FaultScheduleHeapAndWheelMatch) {
   }
   expect_identical(results[0], results[1]);
   EXPECT_GT(results[0].faults.faults_applied, 0);
+}
+
+OpenLoopResult run_open_sharded(const Topology& topo, RoutingStrategy strategy,
+                                SchedulerKind kind, double load, int shards) {
+  SimConfig cfg = digest_config(kind, 7);
+  cfg.shards = shards;
+  SimStack stack(topo, strategy, cfg);
+  UniformTraffic uni(topo.num_nodes());
+  return stack.run_open_loop(uni, load, us(6), us(1));
+}
+
+TEST(DeterminismDigest, ShardedMatchesSerialAcrossShardCountsAndSchedulers) {
+  // The core sharding contract: partitioned execution under conservative
+  // time windows realizes the exact serial event stream, for any shard
+  // count and either scheduler.
+  const Topology topo = build_slim_fly(5);
+  for (const SchedulerKind kind : {SchedulerKind::kHeap, SchedulerKind::kWheel}) {
+    const OpenLoopResult serial =
+        run_open_sharded(topo, RoutingStrategy::kUgal, kind, 0.6, 1);
+    for (const int shards : {2, 4, 7}) {
+      const OpenLoopResult sharded =
+          run_open_sharded(topo, RoutingStrategy::kUgal, kind, 0.6, shards);
+      expect_identical(serial, sharded);
+      EXPECT_EQ(serial.avg_hops, sharded.avg_hops);
+      EXPECT_EQ(serial.jain_fairness, sharded.jain_fairness);
+    }
+  }
+}
+
+TEST(DeterminismDigest, ShardedFaultScheduleMatchesSerial) {
+  // Faults execute on the coordinator between windows: wholesale VOQ
+  // drains, credit resyncs and retry backoffs must land exactly where the
+  // serial engine puts them.
+  const Topology topo = build_slim_fly(5);
+  UniformTraffic uni(topo.num_nodes());
+  auto run_with_shards = [&](int shards, SchedulerKind kind) {
+    SimConfig cfg = digest_config(kind, 11);
+    cfg.shards = shards;
+    cfg.fault.reroute = true;
+    cfg.fault.recovery = FaultRecovery::kSalvage;
+    cfg.fault.schedule.push_back(
+        {us(2), FaultKind::kLinkDown, topo.links()[0].r1, topo.links()[0].r2});
+    cfg.fault.schedule.push_back(
+        {us(3), FaultKind::kLinkDown, topo.links()[7].r1, topo.links()[7].r2});
+    cfg.fault.schedule.push_back(
+        {us(4), FaultKind::kLinkUp, topo.links()[0].r1, topo.links()[0].r2});
+    SimStack stack(topo, RoutingStrategy::kUgal, cfg);
+    return stack.run_open_loop(uni, 0.5, us(6), us(1));
+  };
+  for (const SchedulerKind kind : {SchedulerKind::kHeap, SchedulerKind::kWheel}) {
+    const OpenLoopResult serial = run_with_shards(1, kind);
+    const OpenLoopResult sharded = run_with_shards(4, kind);
+    expect_identical(serial, sharded);
+    EXPECT_GT(serial.faults.faults_applied, 0);
+    EXPECT_EQ(serial.faults.packets_dropped, sharded.faults.packets_dropped);
+    EXPECT_EQ(serial.faults.packets_retried, sharded.faults.packets_retried);
+    EXPECT_EQ(serial.faults.packets_lost, sharded.faults.packets_lost);
+    EXPECT_EQ(serial.faults.reroutes, sharded.faults.reroutes);
+  }
+}
+
+TEST(DeterminismDigest, ShardedArmedUnhitDeadlineMatchesSerial) {
+  // An armed wall-clock deadline that never fires must leave both engines'
+  // event sequences untouched (serial checks per event stride, sharded per
+  // window barrier).
+  const Topology topo = build_slim_fly(5);
+  UniformTraffic uni(topo.num_nodes());
+  auto run_with = [&](int shards) {
+    SimConfig cfg = digest_config(SchedulerKind::kWheel, 7);
+    cfg.shards = shards;
+    cfg.wall_limit_seconds = 3600.0;  // armed, never hit
+    SimStack stack(topo, RoutingStrategy::kMinimal, cfg);
+    return stack.run_open_loop(uni, 0.6, us(6), us(1));
+  };
+  const OpenLoopResult serial = run_with(1);
+  const OpenLoopResult sharded = run_with(4);
+  EXPECT_FALSE(serial.timed_out);
+  EXPECT_FALSE(sharded.timed_out);
+  expect_identical(serial, sharded);
 }
 
 TEST(DeterminismDigest, SweepDigestsStableAcrossJobs) {

@@ -1,0 +1,218 @@
+// Sharded-engine behavior beyond the digest contract (which lives in
+// test_determinism_digest.cpp): shard-count clamping, the documented
+// demotions to serial execution, the per-shard metrics export, and — as its
+// own ctest target for the CI matrix — a fault-schedule scenario diffing
+// the sharded event digest against the serial one.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/exchange.h"
+#include "sim/experiment.h"
+#include "sim/sweep_runner.h"
+#include "sim/trace.h"
+#include "sim/traffic.h"
+#include "topology/slim_fly.h"
+
+namespace d2net {
+namespace {
+
+SimConfig sharded_config(int shards, std::uint64_t seed) {
+  SimConfig cfg;
+  cfg.seed = seed;
+  cfg.shards = shards;
+  cfg.collect_event_digest = true;
+  return cfg;
+}
+
+OpenLoopResult run_uniform(const Topology& topo, SimConfig cfg, double load) {
+  SimStack stack(topo, RoutingStrategy::kUgal, cfg);
+  UniformTraffic uni(topo.num_nodes());
+  return stack.run_open_loop(uni, load, us(6), us(1));
+}
+
+TEST(ShardedSim, FaultScheduleDigestMatchesSerial) {
+  // The CI resilience scenario: a link dies mid-run and recovers, with
+  // salvage rerouting — the sharded coordinator must apply the fault,
+  // drain VOQs and resync credits exactly where the serial engine does.
+  const Topology topo = build_slim_fly(5);
+  auto run = [&](int shards) {
+    SimConfig cfg = sharded_config(shards, 11);
+    cfg.fault.reroute = true;
+    cfg.fault.recovery = FaultRecovery::kSalvage;
+    cfg.fault.schedule.push_back(
+        {us(2), FaultKind::kLinkDown, topo.links()[0].r1, topo.links()[0].r2});
+    cfg.fault.schedule.push_back(
+        {us(4), FaultKind::kLinkUp, topo.links()[0].r1, topo.links()[0].r2});
+    return run_uniform(topo, cfg, 0.5);
+  };
+  const OpenLoopResult serial = run(1);
+  const OpenLoopResult sharded = run(4);
+  ASSERT_GT(serial.events_processed, 0);
+  EXPECT_GT(serial.faults.faults_applied, 0);
+  EXPECT_EQ(serial.events_processed, sharded.events_processed);
+  EXPECT_EQ(serial.event_digest, sharded.event_digest);
+  EXPECT_EQ(serial.packets_injected, sharded.packets_injected);
+  EXPECT_EQ(serial.accepted_throughput, sharded.accepted_throughput);
+  EXPECT_EQ(serial.avg_latency_ns, sharded.avg_latency_ns);
+}
+
+TEST(ShardedSim, ShardCountClampsToRouterCount) {
+  // More lanes than routers would leave some permanently empty; the engine
+  // clamps — and a clamped run still matches serial bit for bit.
+  const Topology topo = build_slim_fly(5);  // 50 routers
+  SimStack wide(topo, RoutingStrategy::kUgal, sharded_config(500, 7));
+  UniformTraffic uni(topo.num_nodes());
+  const OpenLoopResult clamped = wide.run_open_loop(uni, 0.5, us(4), us(1));
+  EXPECT_EQ(wide.sim().shards_used(), topo.num_routers());
+
+  const OpenLoopResult serial =
+      run_uniform(topo, sharded_config(1, 7), 0.5);
+  SimStack again(topo, RoutingStrategy::kUgal, sharded_config(500, 7));
+  const OpenLoopResult clamped2 = again.run_open_loop(uni, 0.5, us(6), us(1));
+  EXPECT_EQ(serial.event_digest, clamped2.event_digest);
+  EXPECT_EQ(serial.events_processed, clamped2.events_processed);
+  (void)clamped;
+}
+
+TEST(ShardedSim, ExchangeRunsDemoteToSerial) {
+  // Closed-loop completion detection needs a global event view; a sharded
+  // config must demote (with identical results) rather than fail.
+  const Topology topo = build_slim_fly(5);
+  const ExchangePlan plan = make_all_to_all_plan(topo.num_nodes(), 2048);
+
+  SimStack serial(topo, RoutingStrategy::kUgal, sharded_config(1, 7));
+  const ExchangeResult a = serial.run_exchange(plan, us(2000));
+  EXPECT_EQ(serial.sim().shards_used(), 1);
+
+  SimStack sharded(topo, RoutingStrategy::kUgal, sharded_config(4, 7));
+  const ExchangeResult b = sharded.run_exchange(plan, us(2000));
+  EXPECT_EQ(sharded.sim().shards_used(), 1);  // demoted
+
+  ASSERT_TRUE(a.completed);
+  ASSERT_TRUE(b.completed);
+  EXPECT_EQ(a.completion_us, b.completion_us);
+  EXPECT_EQ(a.delivered_bytes, b.delivered_bytes);
+  EXPECT_EQ(a.event_digest, b.event_digest);
+}
+
+TEST(ShardedSim, TraceSinkDemotesToSerial) {
+  // A trace sink observes one globally ordered stream; sharding is demoted
+  // while it is attached and the trace content is unchanged.
+  const Topology topo = build_slim_fly(5);
+  UniformTraffic uni(topo.num_nodes());
+
+  SimStack sharded(topo, RoutingStrategy::kUgal, sharded_config(4, 7));
+  PacketTraceSink trace;
+  sharded.sim().set_trace(&trace);
+  const OpenLoopResult traced = sharded.run_open_loop(uni, 0.5, us(4), us(1));
+  EXPECT_EQ(sharded.sim().shards_used(), 1);  // demoted
+  EXPECT_GT(trace.entries().size(), 0u);
+
+  SimConfig plain = sharded_config(1, 7);
+  SimStack serial(topo, RoutingStrategy::kUgal, plain);
+  const OpenLoopResult base = serial.run_open_loop(uni, 0.5, us(4), us(1));
+  EXPECT_EQ(base.event_digest, traced.event_digest);
+}
+
+TEST(ShardedSim, UgalGlobalDemotesToSerial) {
+  // UGAL-G reads queue depths across the whole network at decision time
+  // (shard_safe() == false): it cannot run partitioned, so the engine runs
+  // it serially and the result matches a shards=1 config exactly.
+  const Topology topo = build_slim_fly(5);
+  UniformTraffic uni(topo.num_nodes());
+  SimStack sharded(topo, RoutingStrategy::kUgalGlobal, sharded_config(4, 7));
+  const OpenLoopResult demoted = sharded.run_open_loop(uni, 0.5, us(4), us(1));
+  EXPECT_EQ(sharded.sim().shards_used(), 1);
+
+  SimStack serial(topo, RoutingStrategy::kUgalGlobal, sharded_config(1, 7));
+  const OpenLoopResult base = serial.run_open_loop(uni, 0.5, us(4), us(1));
+  EXPECT_EQ(base.event_digest, demoted.event_digest);
+  EXPECT_EQ(base.events_processed, demoted.events_processed);
+}
+
+TEST(ShardedSim, ShardingMetricsExported) {
+  const Topology topo = build_slim_fly(5);
+  SimConfig cfg = sharded_config(4, 7);
+  cfg.metrics.enabled = true;
+  const OpenLoopResult res = run_uniform(topo, cfg, 0.6);
+  ASSERT_NE(res.metrics, nullptr);
+  const ShardingMetrics& sh = res.metrics->sharding;
+  EXPECT_EQ(sh.shards, 4);
+  EXPECT_GT(sh.windows, 0);
+  EXPECT_GT(sh.mean_window_width_ns, 0.0);
+  EXPECT_GT(sh.cross_shard_messages, 0);
+  ASSERT_EQ(sh.shard.size(), 4u);
+
+  int routers = 0;
+  int nodes = 0;
+  std::int64_t lane_events = 0;
+  std::int64_t messages = 0;
+  std::size_t voq_cells = 0;
+  for (const ShardMetrics& sm : sh.shard) {
+    EXPECT_GT(sm.routers, 0);
+    EXPECT_GT(sm.nodes, 0);
+    EXPECT_GT(sm.events, 0);
+    EXPECT_GT(sm.capacities.event_queue_reserved, 0u);
+    EXPECT_GT(sm.capacities.packet_pool_reserved, 0u);
+    routers += sm.routers;
+    nodes += sm.nodes;
+    lane_events += sm.events;
+    messages += sm.messages_sent;
+    voq_cells += sm.capacities.voq_cells;
+  }
+  EXPECT_EQ(routers, topo.num_routers());
+  EXPECT_EQ(nodes, topo.num_nodes());
+  // Lane events plus coordinator (serialized-step) events account for the
+  // run total; the coordinator handles only fault/control events here.
+  EXPECT_LE(lane_events, res.events_processed);
+  EXPECT_GT(lane_events, res.events_processed / 2);
+  EXPECT_EQ(messages, sh.cross_shard_messages);
+  EXPECT_EQ(voq_cells, res.metrics->capacities.voq_cells);
+
+  // Metrics collection must not perturb the sharded event stream.
+  const OpenLoopResult plain = run_uniform(topo, sharded_config(4, 7), 0.6);
+  EXPECT_EQ(plain.event_digest, res.event_digest);
+  EXPECT_EQ(plain.events_processed, res.events_processed);
+
+  // Serial runs report an empty sharding block.
+  SimConfig scfg = sharded_config(1, 7);
+  scfg.metrics.enabled = true;
+  const OpenLoopResult serial = run_uniform(topo, scfg, 0.6);
+  ASSERT_NE(serial.metrics, nullptr);
+  EXPECT_EQ(serial.metrics->sharding.shards, 1);
+  EXPECT_EQ(serial.metrics->sharding.windows, 0);
+  EXPECT_EQ(serial.metrics->sharding.shard.size(), 0u);
+}
+
+TEST(ShardedSim, ShardsComposeWithSweepJobs) {
+  // A sharded sweep point must produce the same digest regardless of how
+  // many sweep jobs run around it (thread interleaving never reaches any
+  // event stream).
+  const Topology topo = build_slim_fly(5);
+  UniformTraffic uni(topo.num_nodes());
+  SweepSeriesSpec spec;
+  spec.label = "sf-ugal";
+  spec.topo = &topo;
+  spec.strategy = RoutingStrategy::kUgal;
+  spec.pattern = &uni;
+  spec.loads = {0.4, 0.6};
+
+  auto digests = [&](int jobs) {
+    SweepRunOptions opts;
+    opts.jobs = jobs;
+    opts.config = sharded_config(2, 21);
+    opts.duration = us(4);
+    opts.warmup = us(1);
+    SweepRunner runner(opts);
+    const auto out = runner.run({spec});
+    std::vector<std::uint64_t> d;
+    for (const SweepPoint& pt : out[0]) d.push_back(pt.result.event_digest);
+    return d;
+  };
+  EXPECT_EQ(digests(1), digests(2));
+}
+
+}  // namespace
+}  // namespace d2net
