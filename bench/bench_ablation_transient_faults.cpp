@@ -8,6 +8,13 @@
 // a destination router so the run cannot finish, showing the no-progress
 // watchdog ending it gracefully with wedged=true and partial stats instead
 // of spinning forever. See docs/resilience.md for the fault model.
+//
+// DEPRECATED as a hand-maintained driver: the fault sweeps (everything in
+// --json) are reproducible from the committed spec via `d2net_campaign
+// --spec=campaigns/transient_faults.json` with byte-identical --json output
+// (verified by scripts/ci.sh stage 6; see docs/campaigns.md). Kept as the
+// identity baseline and for the stdout-only recovery-curve tables and the
+// --wedge-demo, which the declarative runner deliberately does not model.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>

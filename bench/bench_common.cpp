@@ -1,12 +1,16 @@
 #include "bench_common.h"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 
 #include "common/error.h"
 #include "common/journal.h"
+#include "common/json.h"
 #include "common/thread_pool.h"
 #include "sim/traffic.h"
 #include "topology/mlfm.h"
@@ -81,9 +85,10 @@ BenchOptions read_standard_flags(const Cli& cli) {
     const long long threads =
         static_cast<long long>(opts.shards) * opts.jobs;
     const int hw = ThreadPool::hardware_concurrency();
-    static bool warned = false;
-    if (threads > hw && !warned) {
-      warned = true;
+    // atomic for the same reason as the demotion notes in sim/network.cpp:
+    // warn-once flags in reusable code must assume concurrent callers.
+    static std::atomic<bool> warned{false};
+    if (threads > hw && !warned.exchange(true, std::memory_order_relaxed)) {
       std::fprintf(stderr,
                    "warning: --shards %d x --jobs %d = %lld simulation "
                    "threads exceeds hardware concurrency (%d); expect "
@@ -170,9 +175,13 @@ void write_metrics(std::ostream& os, const SimMetrics& m) {
   first = true;
   m.registry.for_each_histogram([&](const std::string& name, const LogHistogram& h) {
     os << (first ? "" : ", ") << "\"" << json_escape(name)
-       << "\": {\"count\": " << h.count() << ", \"mean\": " << h.mean()
-       << ", \"p50\": " << h.percentile(50) << ", \"p99\": " << h.percentile(99)
-       << ", \"underflow\": " << h.underflow() << ", \"overflow\": " << h.overflow()
+       << "\": {\"count\": " << h.count() << ", \"mean\": ";
+    write_json_double(os, h.mean());
+    os << ", \"p50\": ";
+    write_json_double(os, h.percentile(50));
+    os << ", \"p99\": ";
+    write_json_double(os, h.percentile(99));
+    os << ", \"underflow\": " << h.underflow() << ", \"overflow\": " << h.overflow()
        << "}";
     first = false;
   });
@@ -205,9 +214,9 @@ void write_metrics(std::ostream& os, const SimMetrics& m) {
   if (m.sharding.shards > 1) {
     const ShardingMetrics& sh = m.sharding;
     os << ", \"sharding\": {\"shards\": " << sh.shards
-       << ", \"windows\": " << sh.windows
-       << ", \"mean_window_width_ns\": " << sh.mean_window_width_ns
-       << ", \"cross_shard_messages\": " << sh.cross_shard_messages
+       << ", \"windows\": " << sh.windows << ", \"mean_window_width_ns\": ";
+    write_json_double(os, sh.mean_window_width_ns);
+    os << ", \"cross_shard_messages\": " << sh.cross_shard_messages
        << ", \"shards_detail\": [";
     for (std::size_t s = 0; s < sh.shard.size(); ++s) {
       const ShardMetrics& sm = sh.shard[s];
@@ -235,8 +244,11 @@ void write_metrics(std::ostream& os, const SimMetrics& m) {
        << ", \"packets\": " << pm.packets_forwarded
        << ", \"bytes\": " << pm.bytes_forwarded
        << ", \"credit_stall_ns\": " << to_ns(pm.credit_stall_ps)
-       << ", \"occ_mean_bytes\": " << pm.occupancy_bytes.mean()
-       << ", \"occ_max_bytes\": " << pm.occupancy_bytes.max() << ", \"vcs\": [";
+       << ", \"occ_mean_bytes\": ";
+    write_json_double(os, pm.occupancy_bytes.mean());
+    os << ", \"occ_max_bytes\": ";
+    write_json_double(os, pm.occupancy_bytes.max());
+    os << ", \"vcs\": [";
     bool first_vc = true;
     for (std::size_t v = 0; v < pm.vcs.size(); ++v) {
       if (pm.vcs[v].packets == 0) continue;
@@ -279,11 +291,18 @@ void write_faults(std::ostream& os, const FaultStats& f) {
 // report emits per point goes through here, so the journal can record the
 // exact rendered fragment and splice it back verbatim on resume.
 void write_point_json(std::ostream& os, const SweepPoint& pt) {
-  os << "{\"load\": " << pt.offered
-     << ", \"throughput\": " << pt.result.accepted_throughput
-     << ", \"avg_latency_ns\": " << pt.result.avg_latency_ns
-     << ", \"p99_latency_ns\": " << pt.result.p99_latency_ns
-     << ", \"packets_measured\": " << pt.result.packets_measured
+  // write_json_double: a NaN (empty measurement window) or inf must render
+  // as null — "nan" is not JSON and would corrupt the document and every
+  // journal line carrying this fragment.
+  os << "{\"load\": ";
+  write_json_double(os, pt.offered);
+  os << ", \"throughput\": ";
+  write_json_double(os, pt.result.accepted_throughput);
+  os << ", \"avg_latency_ns\": ";
+  write_json_double(os, pt.result.avg_latency_ns);
+  os << ", \"p99_latency_ns\": ";
+  write_json_double(os, pt.result.p99_latency_ns);
+  os << ", \"packets_measured\": " << pt.result.packets_measured
      << ", \"phases\": ";
   write_phases(os, pt.result.phases);
   // Durability fields appear only when non-default, keeping healthy runs'
@@ -314,6 +333,37 @@ std::string render_point_json(const SweepPoint& pt) {
   return os.str();
 }
 
+std::string render_exchange_row_json(const ExchangeRow& row) {
+  if (row.restored && !row.restored_json.empty()) return row.restored_json;
+  const ExchangeResult& r = row.result;
+  std::ostringstream os;
+  os.precision(10);  // matches BenchReport::write's stream settings
+  os << "{\"system\": \"" << json_escape(row.system) << "\", \"routing\": \""
+     << json_escape(row.routing)
+     << "\", \"completed\": " << (r.completed ? "true" : "false")
+     << ", \"eff_throughput\": ";
+  write_json_double(os, r.effective_throughput);
+  os << ", \"completion_us\": ";
+  write_json_double(os, r.completion_us);
+  os << ", \"delivered_bytes\": " << r.delivered_bytes
+     << ", \"total_bytes\": " << r.total_bytes << ", \"avg_latency_ns\": ";
+  write_json_double(os, r.avg_latency_ns);
+  // Like sweep points, abort markers appear only when set, keeping healthy
+  // rows byte-stable across versions.
+  if (r.timed_out) os << ", \"timed_out\": true";
+  if (r.faults.wedged) os << ", \"wedged\": true";
+  if (r.faults.enabled) {
+    os << ", \"faults\": ";
+    write_faults(os, r.faults);
+  }
+  if (r.metrics != nullptr) {
+    os << ", \"metrics\": ";
+    write_metrics(os, *r.metrics);
+  }
+  os << "}";
+  return os.str();
+}
+
 std::string bench_manifest(const std::string& bench_name, const BenchOptions& opts) {
   // Everything that changes simulated results belongs here; presentation
   // knobs (--json path, --csv, --jobs, --shards) deliberately do not —
@@ -334,7 +384,8 @@ std::string bench_manifest(const std::string& bench_name, const BenchOptions& op
   return os.str();
 }
 
-BenchReport::BenchReport(std::string bench_name, const BenchOptions& opts)
+BenchReport::BenchReport(std::string bench_name, const BenchOptions& opts,
+                         std::string manifest_extra)
     : bench_name_(std::move(bench_name)), opts_(opts) {
   // Fail before the sweep runs, not after: a long --full run should not
   // discover an unwritable --json path at the very end.
@@ -344,7 +395,8 @@ BenchReport::BenchReport(std::string bench_name, const BenchOptions& opts)
   }
   if (!opts_.journal_dir.empty()) {
     journal_ = std::make_unique<SweepJournal>(
-        opts_.journal_dir, bench_manifest(bench_name_, opts_), opts_.resume);
+        opts_.journal_dir, bench_manifest(bench_name_, opts_) + manifest_extra,
+        opts_.resume);
     if (opts_.resume && journal_->loaded_points() > 0) {
       std::printf("resuming from %s: %zu completed point(s) on record\n",
                   opts_.journal_dir.c_str(), journal_->loaded_points());
@@ -357,6 +409,12 @@ void BenchReport::add_sweep(const std::string& title,
                             const std::vector<std::vector<SweepPoint>>& series,
                             const SweepRunStats& stats) {
   sweeps_.push_back({title, labels, series, stats});
+}
+
+void BenchReport::add_exchange(const std::string& title,
+                               const std::vector<ExchangeRow>& rows,
+                               const SweepRunStats& stats) {
+  exchanges_.push_back({title, rows, stats});
 }
 
 void BenchReport::write() const {
@@ -396,7 +454,28 @@ void BenchReport::write() const {
     }
     os << "]}";
   }
-  os << "\n  ]\n}\n";
+  os << "\n  ]";
+  // Emitted only when an exchange table actually ran: sweep-only benches'
+  // documents stay byte-identical to previous versions.
+  if (!exchanges_.empty()) {
+    os << ",\n  \"exchanges\": [";
+    for (std::size_t i = 0; i < exchanges_.size(); ++i) {
+      const ExchangeRecord& ex = exchanges_[i];
+      os << (i ? ",\n" : "\n");
+      os << "    {\"title\": \"" << json_escape(ex.title) << "\",\n";
+      os << "     \"wall_seconds\": " << ex.stats.wall_seconds << ",\n";
+      os << "     \"points\": " << ex.stats.points << ",\n";
+      os << "     \"rows\": [";
+      for (std::size_t r = 0; r < ex.rows.size(); ++r) {
+        // render_exchange_row_json returns journal-restored fragments
+        // verbatim, like sweep points.
+        os << (r ? ",\n       " : "\n       ") << render_exchange_row_json(ex.rows[r]);
+      }
+      os << "\n     ]}";
+    }
+    os << "\n  ]";
+  }
+  os << "\n}\n";
   D2NET_REQUIRE(os.good(), "failed writing --json output: " + opts_.json_path);
 }
 
@@ -508,6 +587,128 @@ std::vector<std::vector<SweepPoint>> run_and_print_sweep(
   }
   if (report != nullptr) report->add_sweep(title, labels, series, st);
   return series;
+}
+
+std::vector<ExchangeRow> run_exchange_table(const std::string& title_base,
+                                            const std::vector<ExchangeRowSpec>& rows,
+                                            std::int64_t bytes_per_pair, A2aOrder order,
+                                            TimePs time_limit, const BenchOptions& opts,
+                                            BenchReport* report) {
+  D2NET_REQUIRE(!rows.empty(), "exchange table needs at least one row");
+  const std::string title =
+      title_base + " (" + std::to_string(bytes_per_pair) + " B/pair, " +
+      (order == A2aOrder::kStaggered ? "staggered" : "shuffled+interleaved") + ")";
+
+  SimConfig cfg = opts.sweep_options().config;
+  // --point-timeout bounds the wall clock of each exchange run.
+  cfg.wall_limit_seconds = opts.point_timeout_s;
+
+  SweepJournal* journal = report != nullptr ? report->journal() : nullptr;
+  auto key_for = [&](std::size_t i) { return title + "#" + std::to_string(i); };
+  auto fingerprint = [](const Topology& t) {
+    std::ostringstream os;
+    os << "r=" << t.num_routers() << ",n=" << t.num_nodes() << ",l=" << t.num_links();
+    return os.str();
+  };
+  if (journal != nullptr) journal->register_scope(title);
+
+  std::printf("== %s ==\n", title.c_str());
+  Table t({"system", "routing", "eff. throughput", "completion (us)"});
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::int64_t restored_rows = 0;
+
+  // One plan per distinct topology: the plan is a pure function of
+  // (num_nodes, bytes, order, seed), so sharing it across this topology's
+  // rows is behavior-identical to rebuilding per row.
+  std::map<const Topology*, ExchangePlan> plans;
+  std::vector<ExchangeRow> out;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ExchangeRowSpec& spec = rows[i];
+    D2NET_REQUIRE(spec.topo != nullptr, "exchange row needs a topology");
+    ExchangeRow row;
+    row.system = spec.system;
+    row.routing = to_string(spec.strategy);
+
+    const JournalEntry* e = journal != nullptr ? journal->find(key_for(i)) : nullptr;
+    if (e != nullptr && e->completed()) {
+      // Same second lock as the sweep runner's restore path: the manifest
+      // hash should have caught config drift, but splicing a row from a
+      // different table would be silent data corruption.
+      D2NET_REQUIRE(e->label == row.system + " " + row.routing &&
+                        e->seed == opts.seed && e->topo == fingerprint(*spec.topo),
+                    "journal entry '" + e->key +
+                        "' does not match the current exchange table "
+                        "(system/routing/seed/topology drift); refusing to mix "
+                        "results — use a fresh --journal dir");
+      row.restored = true;
+      row.restored_json = e->payload;
+      row.result.completed = e->exchange_completed == 1;
+      row.result.effective_throughput = e->throughput;
+      row.result.completion_us = e->completion_us;
+      row.result.avg_latency_ns = e->avg_latency_ns;
+      row.result.timed_out = e->status == "timed_out";
+      row.result.faults.wedged = e->wedged;
+      ++restored_rows;
+    } else {
+      auto pit = plans.find(spec.topo);
+      if (pit == plans.end()) {
+        pit = plans
+                  .emplace(spec.topo, make_all_to_all_plan(spec.topo->num_nodes(),
+                                                           bytes_per_pair, order, opts.seed))
+                  .first;
+      }
+      const auto row_start = std::chrono::steady_clock::now();
+      SimStack stack(*spec.topo, spec.strategy, cfg);
+      row.result = stack.run_exchange(pit->second, time_limit);
+      if (journal != nullptr) {
+        JournalEntry je;
+        je.key = key_for(i);
+        je.label = row.system + " " + row.routing;
+        je.topo = fingerprint(*spec.topo);
+        je.seed = opts.seed;
+        je.status = row.result.timed_out ? "timed_out" : "ok";
+        je.events = 0;  // ExchangeResult does not count events
+        je.wall_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - row_start)
+                .count();
+        je.throughput = row.result.effective_throughput;
+        je.avg_latency_ns = row.result.avg_latency_ns;
+        je.exchange_completed = row.result.completed ? 1 : 0;
+        je.completion_us = row.result.completion_us;
+        je.wedged = row.result.faults.wedged;
+        je.payload = render_exchange_row_json(row);
+        journal->append(je);
+      }
+    }
+
+    // An aborted run has no meaningful completion time; an explicit marker
+    // beats a misleading 0.0 in the table/CSV/JSON. The three abort modes
+    // are distinct: WEDGED = no simulated progress (watchdog), DEADLINE =
+    // --point-timeout wall-clock budget expired, TIMEOUT = the simulated
+    // time limit elapsed while still progressing.
+    const ExchangeResult& r = row.result;
+    const char* abort_marker =
+        r.faults.wedged ? "WEDGED" : r.timed_out ? "DEADLINE" : "TIMEOUT";
+    t.add(row.system, row.routing,
+          r.completed ? fmt(r.effective_throughput, 3) : abort_marker,
+          r.completed ? fmt(r.completion_us, 1) : abort_marker);
+    out.push_back(std::move(row));
+  }
+  t.print(std::cout);
+  if (opts.csv) t.print_csv(std::cout);
+
+  SweepRunStats stats;
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  stats.points = static_cast<std::int64_t>(out.size());
+  stats.restored_points = restored_rows;
+  stats.jobs = 1;
+  if (restored_rows > 0) {
+    std::printf("durability: %lld row(s) restored from journal\n",
+                static_cast<long long>(restored_rows));
+  }
+  if (report != nullptr) report->add_exchange(title, out, stats);
+  return out;
 }
 
 std::vector<double> bench_uniform_loads() {

@@ -12,6 +12,7 @@
 #include "common/cli.h"
 #include "common/journal.h"
 #include "common/table.h"
+#include "sim/exchange.h"
 #include "sim/experiment.h"
 #include "sim/sweep_runner.h"
 #include "topology/topology.h"
@@ -92,6 +93,18 @@ Topology paper_oft(bool full);
 /// threw carry "failed": true and "error": "..." (absent on healthy runs,
 /// keeping their output byte-stable across versions).
 ///
+/// Exchange tables (run_exchange_table) land in a sibling "exchanges"
+/// array: [{"title": ..., "wall_seconds": ..., "points": N, "rows":
+/// [{"system", "routing", "completed", "eff_throughput", "completion_us",
+///   "delivered_bytes", "total_bytes", "avg_latency_ns", plus optional
+///   "timed_out"/"wedged"/"faults"/"metrics"}]}]. The array is emitted only
+/// when at least one exchange ran, keeping sweep-only benches' output
+/// byte-stable.
+///
+/// Non-finite doubles (a NaN throughput from an empty measurement window,
+/// an infinite latency) are emitted as JSON null via write_json_double —
+/// "nan"/"inf" are not valid JSON and would corrupt the document.
+///
 /// With --metrics each point additionally carries a "metrics" object:
 /// {"sample_period_us": ..., "counters": {name: value, ...},
 ///  "histograms": {name: {"count", "mean", "p50", "p99", "underflow",
@@ -107,16 +120,34 @@ Topology paper_oft(bool full);
 /// "mean_window_width_ns", "cross_shard_messages", "shards_detail":
 /// [{"shard", "routers", "nodes", "events", "messages_sent",
 ///   "capacities": {...}}]} (see docs/sharded_sim.md).
+/// One row of an exchange table (Fig. 13 shape): one (system, routing)
+/// combination's all-to-all result. Restored rows carry their journaled
+/// JSON fragment, spliced back verbatim like sweep points.
+struct ExchangeRow {
+  std::string system;
+  std::string routing;
+  ExchangeResult result;
+  bool restored = false;
+  std::string restored_json;
+};
+
 class BenchReport {
  public:
   /// With opts.journal_dir set, opens (or resumes) the crash-safe sweep
   /// journal — manifest mismatch on resume is a hard error (see
-  /// docs/durable_sweeps.md).
-  BenchReport(std::string bench_name, const BenchOptions& opts);
+  /// docs/durable_sweeps.md). `manifest_extra` is appended to the standard
+  /// manifest text — the campaign runner records its spec hash there, so a
+  /// journal cannot resume under an edited spec.
+  BenchReport(std::string bench_name, const BenchOptions& opts,
+              std::string manifest_extra = "");
 
   void add_sweep(const std::string& title, const std::vector<std::string>& labels,
                  const std::vector<std::vector<SweepPoint>>& series,
                  const SweepRunStats& stats);
+
+  /// Records one executed exchange table for the "exchanges" JSON array.
+  void add_exchange(const std::string& title, const std::vector<ExchangeRow>& rows,
+                    const SweepRunStats& stats);
 
   /// Writes the document to opts.json_path; no-op when the flag was unset.
   void write() const;
@@ -136,10 +167,16 @@ class BenchReport {
     std::vector<std::vector<SweepPoint>> series;
     SweepRunStats stats;
   };
+  struct ExchangeRecord {
+    std::string title;
+    std::vector<ExchangeRow> rows;
+    SweepRunStats stats;
+  };
 
   std::string bench_name_;
   BenchOptions opts_;
   std::vector<SweepRecord> sweeps_;
+  std::vector<ExchangeRecord> exchanges_;
   std::unique_ptr<SweepJournal> journal_;
 };
 
@@ -148,6 +185,11 @@ class BenchReport {
 /// fragment verbatim — the single-serializer design that makes resumed
 /// --json output byte-identical to an uninterrupted run.
 std::string render_point_json(const SweepPoint& pt);
+
+/// Renders one exchange row as the JSON object BenchReport emits (and the
+/// journal payload for exchange scopes). Restored rows return their
+/// journaled fragment verbatim.
+std::string render_exchange_row_json(const ExchangeRow& row);
 
 /// The manifest text for a bench invocation (hashed into the journal; see
 /// docs/durable_sweeps.md for the fields).
@@ -167,6 +209,31 @@ void print_sweep_table(const std::string& title,
 std::vector<std::vector<SweepPoint>> run_and_print_sweep(
     const std::string& title, const std::vector<SweepSeriesSpec>& specs,
     const BenchOptions& opts, BenchReport* report);
+
+/// One planned row of an exchange table: which system (by pointer into the
+/// caller's storage) runs the all-to-all under which routing strategy.
+struct ExchangeRowSpec {
+  std::string system;
+  const Topology* topo = nullptr;
+  RoutingStrategy strategy = RoutingStrategy::kMinimal;
+};
+
+/// Runs an all-to-all exchange table (the Fig. 13 shape): for each row, one
+/// make_all_to_all_plan(num_nodes, bytes_per_pair, order, opts.seed)
+/// exchange on a fresh SimStack with cfg.seed = opts.seed, bounded by
+/// `time_limit` simulated time and opts.point_timeout_s wall clock. Prints
+/// the table under "== <title_base> (<bytes> B/pair, <order>) ==" (aborted
+/// rows marked WEDGED / DEADLINE / TIMEOUT), appends to `report` when
+/// non-null, and — when the report carries a journal — journals every row
+/// under that composed title as the scope, restoring completed rows on
+/// --resume with byte-identical output. Both bench_fig13_all_to_all and
+/// d2net_campaign execute through this one function, which is what makes
+/// ported campaign specs reproduce the binary byte-for-byte.
+std::vector<ExchangeRow> run_exchange_table(const std::string& title_base,
+                                            const std::vector<ExchangeRowSpec>& rows,
+                                            std::int64_t bytes_per_pair, A2aOrder order,
+                                            TimePs time_limit, const BenchOptions& opts,
+                                            BenchReport* report);
 
 /// Default offered-load grids for the bench binaries (coarser than the
 /// library's, sized for a single-core host).

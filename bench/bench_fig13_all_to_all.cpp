@@ -6,11 +6,16 @@
 // default keeps the 30-packet message at the smaller N. An ablation flag
 // also runs the staggered (non-interleaved) schedule, which exposes the
 // shift-permutation weakness of sequential per-destination sending.
+//
+// DEPRECATED as a hand-maintained driver: this binary is now a thin shim
+// over bench::run_exchange_table, and the same table is reproducible from
+// the committed spec via `d2net_campaign --spec=campaigns/fig13.json` with
+// byte-identical --json output (verified by scripts/ci.sh stage 6; see
+// docs/campaigns.md). Kept as the identity baseline and for one-off flag
+// overrides (--bytes-per-pair, --staggered).
 #include <cstdio>
-#include <iostream>
 
 #include "bench_common.h"
-#include "common/table.h"
 #include "sim/exchange.h"
 
 using namespace d2net;
@@ -26,35 +31,16 @@ int main(int argc, char** argv) {
   const std::int64_t bytes = cli.get_int("bytes-per-pair");
   const A2aOrder order = cli.get_bool("staggered") ? A2aOrder::kStaggered : A2aOrder::kShuffled;
 
-  SimConfig cfg;
-  cfg.seed = opts.seed;
-  // --point-timeout bounds the wall clock of each exchange run.
-  cfg.wall_limit_seconds = opts.point_timeout_s;
-
-  std::printf("== Fig. 13: effective throughput, one all-to-all (%lld B/pair, %s) ==\n",
-              static_cast<long long>(bytes),
-              order == A2aOrder::kStaggered ? "staggered" : "shuffled+interleaved");
-  Table t({"system", "routing", "eff. throughput", "completion (us)"});
-  for (const auto& sys : paper_systems(opts.full)) {
-    const ExchangePlan plan =
-        make_all_to_all_plan(sys.topo.num_nodes(), bytes, order, opts.seed);
+  BenchReport report("bench_fig13_all_to_all", opts);
+  const auto systems = paper_systems(opts.full);
+  std::vector<ExchangeRowSpec> rows;
+  for (const auto& sys : systems) {
     for (RoutingStrategy s : {RoutingStrategy::kMinimal, RoutingStrategy::kValiant,
                               RoutingStrategy::kUgalThreshold}) {
-      SimStack stack(sys.topo, s, cfg);
-      const ExchangeResult r = stack.run_exchange(plan, us(5'000'000));
-      // An aborted run has no meaningful completion time; an explicit
-      // marker beats a misleading 0.0 in the table/CSV/JSON. The three
-      // abort modes are distinct: WEDGED = no simulated progress (watchdog),
-      // DEADLINE = --point-timeout wall-clock budget expired, TIMEOUT = the
-      // simulated time limit elapsed while still progressing.
-      const char* abort_marker =
-          r.faults.wedged ? "WEDGED" : r.timed_out ? "DEADLINE" : "TIMEOUT";
-      t.add(sys.label, to_string(s),
-            r.completed ? fmt(r.effective_throughput, 3) : abort_marker,
-            r.completed ? fmt(r.completion_us, 1) : abort_marker);
+      rows.push_back({sys.label, &sys.topo, s});
     }
   }
-  t.print(std::cout);
-  if (opts.csv) t.print_csv(std::cout);
-  return 0;
+  run_exchange_table("Fig. 13: effective throughput, one all-to-all", rows, bytes, order,
+                     us(5'000'000), opts, &report);
+  return report.finish();
 }

@@ -8,6 +8,11 @@
 //
 // Every (system, routing, load) point is an independent simulation; they
 // run concurrently under --jobs with results identical to a serial run.
+//
+// DEPRECATED as a hand-maintained driver: the same figure is reproducible
+// from the committed spec via `d2net_campaign --spec=campaigns/fig6.json`
+// with byte-identical --json output (verified by scripts/ci.sh stage 6; see
+// docs/campaigns.md). Kept as the identity baseline.
 #include <cstdio>
 #include <memory>
 

@@ -1,0 +1,144 @@
+// Declarative campaign runner: one driver for the whole bench matrix.
+//
+// Reads a committed JSON spec (campaigns/*.json, schema in
+// docs/campaigns.md), expands it into the exact sweep/exchange work the
+// hand-written bench binaries construct in code, and executes it through
+// the shared machinery — SweepRunner (--jobs/--shards), the crash-safe
+// journal (--journal/--resume), per-point deadlines (--point-timeout) and
+// BenchReport --json output. A spec ported from a bench binary reproduces
+// that binary's --json byte-for-byte (scripts/ci.sh stage 6 enforces this
+// for fig6, fig13 and the transient-faults ablation).
+//
+// The journal manifest additionally pins the spec text's FNV-1a hash:
+// editing a spec invalidates its journals, so a resumed campaign can never
+// silently mix results from two versions of the experiment.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "bench_common.h"
+#include "common/error.h"
+#include "sim/campaign.h"
+
+using namespace d2net;
+using namespace d2net::bench;
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  D2NET_REQUIRE(in.good(), "cannot open --spec file: " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  D2NET_REQUIRE(in.good() || in.eof(), "failed reading --spec file: " + path);
+  return os.str();
+}
+
+void print_dry_run(const CampaignSpec& spec, const ExpandedCampaign& plan) {
+  std::printf("campaign %s: %zu system(s), %zu step(s)\n", spec.name.c_str(),
+              spec.systems.size(), plan.steps.size());
+  for (std::size_t i = 0; i < spec.systems.size(); ++i) {
+    const Topology& t = plan.topologies[i];
+    std::printf("  system %-12s %s (r=%d, n=%d, l=%d)\n", spec.systems[i].label.c_str(),
+                spec.systems[i].topology.c_str(), t.num_routers(), t.num_nodes(),
+                t.num_links());
+  }
+  for (const CampaignStep& step : plan.steps) {
+    if (step.load) {
+      std::size_t points = 0;
+      for (const SweepSeriesSpec& s : step.load->series) points += s.loads.size();
+      std::printf("  sweep    %-48s %zu series x %zu load(s) = %zu point(s)%s\n",
+                  step.load->title.c_str(), step.load->series.size(),
+                  step.load->series.front().loads.size(), points,
+                  step.load->series.front().fault.enabled() ? " [faults]" : "");
+    } else {
+      std::printf("  exchange %-48s %zu row(s), %lld B/pair\n",
+                  step.exchange->title.c_str(), step.exchange->rows.size(),
+                  static_cast<long long>(step.exchange->bytes_per_pair));
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("declarative campaign runner: expand and execute a campaigns/*.json spec "
+          "(see docs/campaigns.md)");
+  cli.flag("spec", std::string{}, "campaign spec file (JSON; required)")
+      .flag("dry-run", false, "print the expanded matrix and exit without simulating");
+  add_standard_flags(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  const BenchOptions opts = read_standard_flags(cli);
+  const std::string spec_path = cli.get_string("spec");
+  D2NET_REQUIRE(!spec_path.empty(), "--spec=<file> is required");
+
+  const std::string spec_text = read_file(spec_path);
+  const CampaignSpec spec = parse_campaign_spec(spec_text, spec_path);
+  const CampaignParams params{opts.full, opts.seed, opts.duration, opts.warmup};
+  const ExpandedCampaign plan = expand_campaign(spec, params);
+
+  if (cli.get_bool("dry-run")) {
+    print_dry_run(spec, plan);
+    return 0;
+  }
+
+  // The spec hash joins the manifest so a journal written under one spec
+  // version refuses to resume under an edited one.
+  std::ostringstream extra;
+  extra << "spec=" << spec_path << "\n"
+        << "spec_fnv1a64=" << std::hex << fnv1a64(spec_text) << "\n";
+  BenchReport report(spec.name, opts, extra.str());
+
+  struct StepSummary {
+    std::string title;
+    const char* kind;
+    std::int64_t points = 0;
+    std::int64_t restored = 0;
+    std::int64_t timed_out = 0;
+    std::int64_t failed = 0;
+  };
+  std::vector<StepSummary> summaries;
+
+  for (const CampaignStep& step : plan.steps) {
+    if (step.load) {
+      const auto series = run_and_print_sweep(step.load->title, step.load->series, opts,
+                                              &report);
+      StepSummary sum{step.load->title, "sweep"};
+      for (const auto& s : series) {
+        for (const SweepPoint& pt : s) {
+          ++sum.points;
+          sum.restored += pt.restored ? 1 : 0;
+          sum.timed_out += pt.result.timed_out ? 1 : 0;
+          sum.failed += pt.failed ? 1 : 0;
+        }
+      }
+      summaries.push_back(std::move(sum));
+    } else {
+      const CampaignExchangeSweep& ex = *step.exchange;
+      std::vector<ExchangeRowSpec> rows;
+      for (const CampaignExchangeRow& r : ex.rows) {
+        rows.push_back({r.system, r.topo, r.strategy});
+      }
+      const auto done = run_exchange_table(ex.title, rows, ex.bytes_per_pair, ex.order,
+                                           ex.time_limit, opts, &report);
+      StepSummary sum{ex.title, "exchange"};
+      for (const ExchangeRow& r : done) {
+        ++sum.points;
+        sum.restored += r.restored ? 1 : 0;
+        sum.timed_out += (!r.result.completed) ? 1 : 0;
+      }
+      summaries.push_back(std::move(sum));
+    }
+  }
+
+  std::printf("\n== campaign summary: %s ==\n", spec.name.c_str());
+  Table summary({"step", "kind", "points", "restored", "timed out/aborted", "failed"});
+  for (const StepSummary& s : summaries) {
+    summary.add(s.title, s.kind, s.points, s.restored, s.timed_out, s.failed);
+  }
+  summary.print(std::cout);
+  if (opts.csv) summary.print_csv(std::cout);
+
+  return report.finish();
+}

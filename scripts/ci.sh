@@ -18,11 +18,19 @@
 # regression table and never fails the build (CI machines are noisy; the
 # committed baseline is refreshed deliberately, see docs/perf.md).
 #
+# Stage 6 enforces the campaign porting contract (docs/campaigns.md): every
+# committed spec under campaigns/ must --dry-run clean, the specs ported
+# from bench binaries must reproduce those binaries' --json output
+# byte-for-byte, and a mixed load/fault/exchange campaign must survive a
+# simulated SIGKILL (journal truncated mid-file with a torn final line) and
+# resume to byte-identical output.
+#
 #   scripts/ci.sh            # all stages, build trees under build-ci*/
 #   SKIP_TSAN=1 scripts/ci.sh
 #   SKIP_ASAN=1 scripts/ci.sh
 #   SKIP_RESUME=1 scripts/ci.sh
 #   SKIP_PERF=1 scripts/ci.sh
+#   SKIP_CAMPAIGN=1 scripts/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -121,6 +129,66 @@ if [[ "${SKIP_PERF:-0}" != "1" ]]; then
     echo "perf smoke done (informational; refresh the baseline via" \
          "bench_micro_core --json=BENCH_core.json on a quiet machine)"
   fi
+fi
+
+if [[ "${SKIP_CAMPAIGN:-0}" != "1" ]]; then
+  echo "=== stage 6: declarative campaign drill (specs vs ported benches) ==="
+  cmake --build build-ci -j "$JOBS" --target d2net_campaign \
+    --target bench_fig6_oblivious --target bench_fig13_all_to_all \
+    --target bench_ablation_transient_faults
+  CAMPAIGN=./build-ci/bench/d2net_campaign
+  WORK=build-ci/campaign-drill
+  rm -rf "$WORK" && mkdir -p "$WORK"
+  # --jobs=1 because bench_ablation_transient_faults runs serially by
+  # construction and the top-level "jobs" JSON field must agree.
+  ARGS=(--duration-us=2 --warmup-us=0.5 --seed=3 --jobs=1)
+  normalize() { sed -E 's/"(wall_seconds|events_per_second)": [0-9.eE+-]+/"\1": X/g' "$1"; }
+
+  # Every committed spec must parse, validate and expand cleanly.
+  for spec in campaigns/*.json; do
+    "$CAMPAIGN" --spec="$spec" --dry-run >/dev/null
+  done
+
+  # Porting contract: byte-identical --json from spec and binary.
+  ./build-ci/bench/bench_fig6_oblivious "${ARGS[@]}" \
+    --json="$WORK/fig6-bench.json" >/dev/null
+  "$CAMPAIGN" --spec=campaigns/fig6.json "${ARGS[@]}" \
+    --json="$WORK/fig6-spec.json" >/dev/null
+  diff <(normalize "$WORK/fig6-spec.json") <(normalize "$WORK/fig6-bench.json")
+
+  # fig13 at the committed 7680 B/pair is minutes of simulation; shrink the
+  # exchange identically on both sides for CI.
+  sed 's/"bytes_per_pair": 7680/"bytes_per_pair": 256/' campaigns/fig13.json \
+    > "$WORK/fig13-small.json"
+  ./build-ci/bench/bench_fig13_all_to_all "${ARGS[@]}" --bytes-per-pair=256 \
+    --json="$WORK/fig13-bench.json" >/dev/null
+  "$CAMPAIGN" --spec="$WORK/fig13-small.json" "${ARGS[@]}" \
+    --json="$WORK/fig13-spec.json" >/dev/null
+  diff <(normalize "$WORK/fig13-spec.json") <(normalize "$WORK/fig13-bench.json")
+
+  ./build-ci/bench/bench_ablation_transient_faults "${ARGS[@]}" \
+    --json="$WORK/tf-bench.json" >/dev/null
+  "$CAMPAIGN" --spec=campaigns/transient_faults.json "${ARGS[@]}" \
+    --json="$WORK/tf-spec.json" >/dev/null
+  diff <(normalize "$WORK/tf-spec.json") <(normalize "$WORK/tf-bench.json")
+  echo "campaign porting contract OK: fig6/fig13/transient_faults byte-identical"
+
+  # Kill/resume drill on the smoke campaign (mixed load, per-system fault
+  # and exchange steps in one journal).
+  "$CAMPAIGN" --spec=campaigns/smoke.json "${ARGS[@]}" \
+    --json="$WORK/smoke-clean.json" >/dev/null
+  "$CAMPAIGN" --spec=campaigns/smoke.json "${ARGS[@]}" \
+    --journal="$WORK/smoke-full" --json="$WORK/smoke-full.json" >/dev/null
+  diff <(normalize "$WORK/smoke-full.json") <(normalize "$WORK/smoke-clean.json")
+  cp -r "$WORK/smoke-full" "$WORK/smoke-cut"
+  LINES=$(wc -l < "$WORK/smoke-cut/journal.jsonl")
+  KEEP=$(( LINES * 2 / 5 )); [[ "$KEEP" -lt 1 ]] && KEEP=1
+  head -n "$KEEP" "$WORK/smoke-full/journal.jsonl" > "$WORK/smoke-cut/journal.jsonl"
+  printf '{"key": "torn' >> "$WORK/smoke-cut/journal.jsonl"
+  "$CAMPAIGN" --spec=campaigns/smoke.json "${ARGS[@]}" \
+    --journal="$WORK/smoke-cut" --resume --json="$WORK/smoke-resumed.json" >/dev/null
+  diff <(normalize "$WORK/smoke-resumed.json") <(normalize "$WORK/smoke-clean.json")
+  echo "campaign resume drill OK ($KEEP/$LINES journal lines survived the crash)"
 fi
 
 echo "CI OK"

@@ -1,8 +1,10 @@
 #include "common/journal.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <limits>
 #include <sstream>
 
 #include "common/error.h"
@@ -173,6 +175,9 @@ struct JsonScanner {
   double parse_double() {
     std::string raw(parse_raw_value());
     if (!ok) return 0.0;
+    // Non-finite values are journaled as null (JSON has no NaN/inf
+    // literal); read them back as NaN so resume can splice the entry.
+    if (raw == "null") return std::numeric_limits<double>::quiet_NaN();
     char* end = nullptr;
     double v = std::strtod(raw.c_str(), &end);
     if (end != raw.c_str() + raw.size()) ok = false;
@@ -198,9 +203,13 @@ struct JsonScanner {
   }
 };
 
-// %.17g round-trips any double exactly through strtod, so loads and result
-// summaries survive journal replay bit-for-bit.
+// %.17g round-trips any finite double exactly through strtod, so loads and
+// result summaries survive journal replay bit-for-bit. NaN/±inf (a wedged
+// or timed-out point's latency average) have no JSON literal — %.17g would
+// emit bare `nan`/`inf` and corrupt the line for every downstream parser —
+// so non-finite values are journaled as null (read back as NaN).
 std::string fmt_double(double v) {
+  if (!std::isfinite(v)) return "null";
   char buf[40];
   std::snprintf(buf, sizeof(buf), "%.17g", v);
   return buf;
@@ -262,6 +271,11 @@ std::string SweepJournal::render_line(const JournalEntry& e) {
      << ", \"avg_latency_ns\": " << fmt_double(e.avg_latency_ns)
      << ", \"p99_latency_ns\": " << fmt_double(e.p99_latency_ns)
      << ", \"packets_measured\": " << e.packets_measured;
+  if (e.exchange_completed >= 0) {
+    os << ", \"exchange_completed\": " << e.exchange_completed
+       << ", \"completion_us\": " << fmt_double(e.completion_us)
+       << ", \"wedged\": " << (e.wedged ? "true" : "false");
+  }
   if (!e.error.empty()) os << ", \"error\": \"" << json_escape(e.error) << "\"";
   os << ", \"result\": " << (e.payload.empty() ? "null" : e.payload) << "}";
   return os.str();
@@ -289,6 +303,9 @@ bool SweepJournal::parse_line(std::string_view line, JournalEntry& out) {
     else if (key == "avg_latency_ns") out.avg_latency_ns = sc.parse_double();
     else if (key == "p99_latency_ns") out.p99_latency_ns = sc.parse_double();
     else if (key == "packets_measured") out.packets_measured = sc.parse_int();
+    else if (key == "exchange_completed") out.exchange_completed = static_cast<int>(sc.parse_int());
+    else if (key == "completion_us") out.completion_us = sc.parse_double();
+    else if (key == "wedged") out.wedged = sc.parse_raw_value() == "true";
     else if (key == "error") out.error = sc.parse_string();
     else if (key == "result") {
       std::string_view raw = sc.parse_raw_value();

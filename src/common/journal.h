@@ -45,7 +45,8 @@ std::uint64_t fnv1a64(std::string_view s);
 /// a different build of the simulator is a configuration mismatch.
 const char* build_describe();
 
-/// One journal line: the durable record of one finished sweep point.
+/// One journal line: the durable record of one finished sweep point (or,
+/// for campaign exchange scopes, one finished exchange row).
 struct JournalEntry {
   std::string key;    ///< "<scope>#<global point index>"
   std::string label;  ///< series label, validated on resume
@@ -61,6 +62,13 @@ struct JournalEntry {
   double avg_latency_ns = 0.0;
   double p99_latency_ns = 0.0;
   std::int64_t packets_measured = 0;
+  // Exchange-row scope extension (see docs/campaigns.md): >= 0 marks the
+  // entry as one row of an exchange table; 1 = the exchange completed,
+  // 0 = it was cut short. Stays -1 on sweep-point entries, so journals
+  // written before this extension parse unchanged.
+  int exchange_completed = -1;
+  double completion_us = 0.0;
+  bool wedged = false;
   std::string error;    ///< exception text when status == "failed"
   std::string payload;  ///< rendered result JSON object ("" when failed)
 

@@ -1,0 +1,266 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <ostream>
+
+#include "common/error.h"
+
+namespace d2net {
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const char* to_string(JsonValue::Kind k) {
+  switch (k) {
+    case JsonValue::Kind::kNull: return "null";
+    case JsonValue::Kind::kBool: return "bool";
+    case JsonValue::Kind::kNumber: return "number";
+    case JsonValue::Kind::kString: return "string";
+    case JsonValue::Kind::kArray: return "array";
+    case JsonValue::Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+namespace {
+
+// Recursive-descent parser. Tracks line/column for error context; every
+// failure path throws through fail(), so a malformed spec can never yield
+// a half-built tree.
+class Parser {
+ public:
+  Parser(std::string_view text, const std::string& where) : s_(text), where_(where) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (i_ < s_.size()) fail("trailing content after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) {
+    std::size_t line = 1, col = 1;
+    for (std::size_t k = 0; k < i_ && k < s_.size(); ++k) {
+      if (s_[k] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    throw ArgumentError(where_ + ":" + std::to_string(line) + ":" + std::to_string(col) +
+                        ": " + msg);
+  }
+
+  void skip_ws() {
+    while (i_ < s_.size() &&
+           (s_[i_] == ' ' || s_[i_] == '\t' || s_[i_] == '\n' || s_[i_] == '\r'))
+      ++i_;
+  }
+
+  char peek() {
+    skip_ws();
+    if (i_ >= s_.size()) fail("unexpected end of input");
+    return s_[i_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "', found '" + s_[i_] + "'");
+    ++i_;
+  }
+
+  bool try_consume(char c) {
+    skip_ws();
+    if (i_ < s_.size() && s_[i_] == c) {
+      ++i_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (s_.substr(i_, lit.size()) != lit) return false;
+    i_ += lit.size();
+    return true;
+  }
+
+  std::string parse_string_literal() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (i_ >= s_.size()) fail("unterminated string literal");
+      char c = s_[i_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (i_ >= s_.size()) fail("unterminated escape sequence");
+      char e = s_[i_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (i_ + 4 > s_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            char h = s_[i_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("invalid hex digit in \\u escape");
+          }
+          // Specs are ASCII + UTF-8 pass-through; encode the code point as
+          // UTF-8 (surrogate pairs are not needed for anything we emit).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("invalid escape sequence");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = i_;
+    if (i_ < s_.size() && s_[i_] == '-') ++i_;
+    bool integral = true;
+    while (i_ < s_.size()) {
+      char c = s_[i_];
+      if (c >= '0' && c <= '9') {
+        ++i_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = c == '+' || c == '-' ? integral : false;
+        ++i_;
+      } else {
+        break;
+      }
+    }
+    const std::string raw(s_.substr(start, i_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(raw.c_str(), &end);
+    if (raw.empty() || end != raw.c_str() + raw.size() || !std::isfinite(d)) {
+      i_ = start;
+      fail("malformed number '" + raw + "'");
+    }
+    // strtod accepts a few non-JSON spellings ("01", "1.", ".5" can't get
+    // here but leading zeros can); enforce the JSON grammar's int part.
+    {
+      std::size_t p = raw[0] == '-' ? 1 : 0;
+      if (p >= raw.size() || !(raw[p] >= '0' && raw[p] <= '9') ||
+          (raw[p] == '0' && p + 1 < raw.size() && raw[p + 1] >= '0' && raw[p + 1] <= '9')) {
+        i_ = start;
+        fail("malformed number '" + raw + "'");
+      }
+    }
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = d;
+    if (integral) {
+      char* iend = nullptr;
+      const long long ll = std::strtoll(raw.c_str(), &iend, 10);
+      if (iend == raw.c_str() + raw.size()) {
+        v.number_is_int = true;
+        v.integer = ll;
+      }
+    }
+    return v;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    JsonValue v;
+    switch (c) {
+      case '{': {
+        ++i_;
+        v.kind = JsonValue::Kind::kObject;
+        if (try_consume('}')) return v;
+        while (true) {
+          skip_ws();
+          std::string key = parse_string_literal();
+          for (const auto& [k, unused] : v.object) {
+            (void)unused;
+            if (k == key) fail("duplicate object key \"" + key + "\"");
+          }
+          expect(':');
+          v.object.emplace_back(std::move(key), parse_value());
+          if (try_consume(',')) continue;
+          expect('}');
+          return v;
+        }
+      }
+      case '[': {
+        ++i_;
+        v.kind = JsonValue::Kind::kArray;
+        if (try_consume(']')) return v;
+        while (true) {
+          v.array.push_back(parse_value());
+          if (try_consume(',')) continue;
+          expect(']');
+          return v;
+        }
+      }
+      case '"':
+        v.kind = JsonValue::Kind::kString;
+        v.str = parse_string_literal();
+        return v;
+      case 't':
+        if (!consume_literal("true")) fail("invalid literal");
+        v.kind = JsonValue::Kind::kBool;
+        v.boolean = true;
+        return v;
+      case 'f':
+        if (!consume_literal("false")) fail("invalid literal");
+        v.kind = JsonValue::Kind::kBool;
+        v.boolean = false;
+        return v;
+      case 'n':
+        if (!consume_literal("null")) fail("invalid literal");
+        return v;
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+        fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  std::string_view s_;
+  std::size_t i_ = 0;
+  std::string where_;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text, const std::string& where) {
+  Parser p(text, where);
+  return p.parse_document();
+}
+
+std::ostream& write_json_double(std::ostream& os, double v) {
+  if (std::isfinite(v)) return os << v;
+  return os << "null";
+}
+
+}  // namespace d2net

@@ -1,0 +1,67 @@
+// Minimal strict JSON support for spec files and report emission.
+//
+// The campaign runner consumes committed spec files, so parse errors must
+// be loud and located: parse_json() builds a small document tree and throws
+// ArgumentError with line/column context on any malformation, including
+// trailing junk after the document. Same dependency discipline as
+// common/cli — no external JSON library.
+//
+// This is deliberately separate from the journal's tolerant line scanner
+// (common/journal.cpp): a torn journal line is expected wear and gets
+// skipped, a malformed spec file is a user error and gets rejected.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace d2net {
+
+/// One JSON value. Object member order is preserved (specs are committed
+/// files; deterministic iteration keeps error messages and expansion
+/// stable).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  /// Set for kNumber when the literal had no '.', 'e' or 'E' and fits
+  /// int64 — lets integer fields reject 1.5 without float comparisons.
+  bool number_is_int = false;
+  std::int64_t integer = 0;
+  std::string str;  ///< kString payload (unescaped)
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// Member lookup on an object; nullptr when absent (or not an object).
+  const JsonValue* find(std::string_view key) const;
+};
+
+/// Human-readable name of a value kind, for error messages.
+const char* to_string(JsonValue::Kind k);
+
+/// Parses one complete JSON document. Throws ArgumentError("<where>: ...")
+/// on malformed input, duplicate object keys, or trailing content; `where`
+/// names the source (a file path) in the error text.
+JsonValue parse_json(std::string_view text, const std::string& where = "json");
+
+/// Writes a double as a JSON number using the stream's current formatting.
+/// NaN and ±inf have no JSON representation — they are emitted as null, so
+/// a wedged or timed-out point can never corrupt a report or journal line
+/// (parsers reading the value back treat null as NaN; see
+/// docs/durable_sweeps.md).
+std::ostream& write_json_double(std::ostream& os, double v);
+
+}  // namespace d2net

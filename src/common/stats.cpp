@@ -88,7 +88,7 @@ double LogHistogram::percentile(double p) const {
   return std::ldexp(1.0, kBuckets - 1);
 }
 
-double SampleSet::percentile(double p) const {
+double SampleSet::percentile(double p) {
   if (samples_.empty()) return 0.0;
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());

@@ -68,16 +68,23 @@ class LogHistogram {
 
 /// Exact percentile estimator that keeps all samples. Suitable for
 /// experiment post-processing where sample counts are bounded.
+///
+/// percentile() sorts the samples on first use and is therefore non-const:
+/// the previous lazy-sort-behind-const design mutated shared state from a
+/// method that looked read-only, which is a data race the moment a const
+/// SampleSet is shared across threads. Callers needing concurrent reads
+/// must sort up front (call percentile once) and share the set immutably
+/// afterwards.
 class SampleSet {
  public:
   void add(double x) { samples_.push_back(x); sorted_ = false; }
   std::size_t count() const { return samples_.size(); }
-  double percentile(double p) const;  ///< Nearest-rank; p in [0,100].
+  double percentile(double p);  ///< Nearest-rank; p in [0,100]. Sorts.
   double mean() const;
 
  private:
-  mutable std::vector<double> samples_;
-  mutable bool sorted_ = false;
+  std::vector<double> samples_;
+  bool sorted_ = false;
 };
 
 }  // namespace d2net

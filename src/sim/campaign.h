@@ -1,0 +1,197 @@
+// Declarative experiment campaigns (see docs/campaigns.md).
+//
+// A campaign spec is a committed JSON file describing a matrix of
+// {topology, routing, traffic, loads, fault schedule} combinations; the
+// d2net_campaign driver expands it into the exact SweepSeriesSpec /
+// exchange-table work the hand-written bench binaries construct in code,
+// and executes it through the same SweepRunner journal/resume/deadline
+// layer. The porting contract is byte-identity: a campaign spec ported
+// from a bench binary must reproduce that binary's --json output
+// byte-for-byte (enforced by scripts/ci.sh stage 6), so the expansion
+// rules below mirror the benches' construction order precisely:
+//
+//  - Load sweeps expand system-major, series-minor: for each selected
+//    system, one SweepSeriesSpec per series entry, in spec order. That is
+//    the loop order of bench_fig6_oblivious (labels and point indices —
+//    and therefore derived seeds and journal keys — depend on it).
+//  - Worst-case traffic builds its permutation from a fresh Rng seeded
+//    with the invocation seed per system, matching the benches.
+//  - seed_mode "base" pins every point of the sweep to the invocation
+//    seed (SweepSeriesSpec::seed_override) — the policy of the ported
+//    serial benches; "derived" (default) uses the per-point SplitMix64
+//    stream.
+//  - Fault bursts compute their times with the benches' integer
+//    arithmetic: burst at warmup + (duration - warmup) / at_div, restored
+//    after (duration - warmup) / restore_div (0 = permanent), recovery
+//    sampled in duration / sample_div buckets.
+//
+// Parsing is strict (unknown keys, bad enums and empty matrices are
+// ArgumentErrors naming the offending spec path): a silently ignored typo
+// in a committed spec would quietly simulate the wrong experiment.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "routing/factory.h"
+#include "routing/minimal_table.h"
+#include "sim/exchange.h"
+#include "sim/sweep_runner.h"
+#include "sim/traffic.h"
+#include "topology/topology.h"
+
+namespace d2net {
+
+/// One evaluated system: a display label plus the topology spec strings
+/// (topology/spec.h grammar) for the default and --full scales.
+struct CampaignSystem {
+  std::string label;
+  std::string topology;       ///< e.g. "sf:q=7"
+  std::string topology_full;  ///< --full variant; "" = same as `topology`
+};
+
+enum class CampaignTraffic {
+  kUniform,    ///< UniformTraffic
+  kWorstCase,  ///< make_worst_case (per-topology adversarial permutation)
+  kShift,      ///< make_node_shift by `shift` nodes
+};
+
+const char* to_string(CampaignTraffic t);
+
+/// Random link burst (make_link_burst), with times expressed as divisors of
+/// the run window so one spec scales across --duration-us/--full.
+struct CampaignFault {
+  double frac = 0.0;    ///< fraction of links in the burst (count >= 1)
+  int at_div = 4;       ///< burst at warmup + (duration - warmup) / at_div
+  int restore_div = 0;  ///< restore after (duration - warmup) / restore_div; 0 = permanent
+  int sample_div = 0;   ///< recovery buckets of duration / sample_div; 0 = off
+};
+
+/// One series of a sweep. `label` may contain the placeholders {system}
+/// and {routing}, substituted at expansion time.
+struct CampaignSeries {
+  std::string label;
+  RoutingStrategy strategy = RoutingStrategy::kMinimal;
+  /// UGAL parameter overrides; absent fields keep the paper defaults for
+  /// the topology (default_ugal_params).
+  std::optional<int> ni;
+  std::optional<double> c;
+  /// Fault-mode contrast knobs (meaningful only when the sweep has a
+  /// fault): what happens to packets that lost their path, and whether
+  /// routing tables rebuild on fault events.
+  FaultRecovery recovery = FaultRecovery::kSalvage;
+  bool reroute = true;
+};
+
+enum class CampaignSweepKind {
+  kLoadSweep,  ///< open-loop load sweep (Fig. 6-12 shape)
+  kExchange,   ///< all-to-all exchange table (Fig. 13 shape)
+};
+
+struct CampaignSweep {
+  std::string title;  ///< must contain {system} when per_system
+  CampaignSweepKind kind = CampaignSweepKind::kLoadSweep;
+  /// System labels to include; empty = every campaign system, in order.
+  std::vector<std::string> systems;
+  /// One printed sweep (and journal scope) per system instead of one big
+  /// sweep with all systems' series — the ablation benches' shape.
+  bool per_system = false;
+  /// "derived" (false): per-point SplitMix64 seeds. "base" (true): every
+  /// point runs on the invocation seed, as the ported serial benches did.
+  bool base_seed = false;
+  std::vector<CampaignSeries> series;
+
+  // --- load sweeps ---
+  CampaignTraffic traffic = CampaignTraffic::kUniform;
+  int shift = 0;  ///< node shift for traffic == kShift
+  std::vector<double> loads;
+  std::optional<CampaignFault> fault;
+
+  // --- exchanges ---
+  std::int64_t bytes_per_pair = 7680;
+  A2aOrder order = A2aOrder::kShuffled;
+  double time_limit_us = 5'000'000.0;
+};
+
+struct CampaignSpec {
+  std::string name;  ///< report/bench name (BenchReport "bench" field)
+  std::vector<CampaignSystem> systems;
+  std::vector<CampaignSweep> sweeps;
+};
+
+/// Parses and validates a campaign spec document. Throws ArgumentError —
+/// naming `where` and the offending spec path — on malformed JSON, unknown
+/// keys, bad enum tokens, duplicate labels/titles, or an empty matrix.
+CampaignSpec parse_campaign_spec(std::string_view text,
+                                 const std::string& where = "campaign spec");
+
+/// Invocation-scale parameters (the driver's standard flags).
+struct CampaignParams {
+  bool full = false;
+  std::uint64_t seed = 1;
+  TimePs duration = 0;
+  TimePs warmup = 0;
+};
+
+/// One expanded load sweep: run through run_and_print_sweep under `title`
+/// as the journal scope.
+struct CampaignLoadSweep {
+  std::string title;
+  std::vector<SweepSeriesSpec> series;
+};
+
+/// One row of an expanded exchange table.
+struct CampaignExchangeRow {
+  std::string system;
+  RoutingStrategy strategy = RoutingStrategy::kMinimal;
+  const Topology* topo = nullptr;
+};
+
+/// One expanded exchange sweep: run through bench::run_exchange_table.
+struct CampaignExchangeSweep {
+  std::string title;  ///< base title (the runner appends bytes/order)
+  std::int64_t bytes_per_pair = 0;
+  A2aOrder order = A2aOrder::kShuffled;
+  TimePs time_limit = 0;
+  std::vector<CampaignExchangeRow> rows;
+};
+
+/// One executable step, in spec order. Exactly one member is engaged.
+struct CampaignStep {
+  std::optional<CampaignLoadSweep> load;
+  std::optional<CampaignExchangeSweep> exchange;
+};
+
+/// The expanded campaign. Owns every object the steps reference
+/// (topologies, minimal tables, traffic patterns, fault schedules), so it
+/// must outlive their execution. Not copyable — steps hold pointers into
+/// the owned storage.
+struct ExpandedCampaign {
+  ExpandedCampaign() = default;
+  ExpandedCampaign(const ExpandedCampaign&) = delete;
+  ExpandedCampaign& operator=(const ExpandedCampaign&) = delete;
+  ExpandedCampaign(ExpandedCampaign&&) = default;
+  ExpandedCampaign& operator=(ExpandedCampaign&&) = default;
+
+  std::vector<CampaignStep> steps;
+
+  /// Owned backing storage (deque: element addresses are stable across
+  /// push_back, and SweepSeriesSpec/CampaignExchangeRow keep raw pointers
+  /// into it).
+  std::deque<Topology> topologies;
+  std::vector<std::shared_ptr<const MinimalTable>> tables;
+  std::deque<std::unique_ptr<TrafficPattern>> patterns;
+};
+
+/// Expands the matrix into concrete, executable steps (topologies built,
+/// tables shared per system, patterns constructed, fault times resolved).
+/// Throws ArgumentError on a spec that references an unknown system or
+/// whose topology spec string does not parse.
+ExpandedCampaign expand_campaign(const CampaignSpec& spec, const CampaignParams& params);
+
+}  // namespace d2net

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -1356,37 +1357,39 @@ void NetworkSim::run_until(TimePs end) {
 // --- sharded driver (see docs/sharded_sim.md) ---
 
 void NetworkSim::setup_run(bool exchange) {
+  // The warn-once latches are std::atomic: setup_run executes on sweep
+  // worker threads (one per in-flight point under --jobs), so a plain
+  // static bool would be a write-write data race. exchange() makes the
+  // note print at most once process-wide while every racing thread still
+  // demotes its own run.
   active_lanes_ = num_lanes_;
   if (active_lanes_ > 1 && exchange) {
-    static bool warned = false;
-    if (!warned) {
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
       std::fprintf(stderr,
                    "d2net: note: exchange workloads run serially "
                    "(completion detection needs a global event view); shards=%d ignored\n",
                    num_lanes_);
-      warned = true;
     }
     active_lanes_ = 1;
   }
   if (active_lanes_ > 1 && !routing_->shard_safe()) {
-    static bool warned = false;
-    if (!warned) {
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
       std::fprintf(stderr,
                    "d2net: note: routing '%s' reads remote router state; "
                    "demoting shards=%d to serial execution\n",
                    routing_->name().c_str(), num_lanes_);
-      warned = true;
     }
     active_lanes_ = 1;
   }
   if (active_lanes_ > 1 && trace_ != nullptr) {
-    static bool warned = false;
-    if (!warned) {
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
       std::fprintf(stderr,
                    "d2net: note: packet tracing needs one globally ordered "
                    "stream; demoting shards=%d to serial execution\n",
                    num_lanes_);
-      warned = true;
     }
     active_lanes_ = 1;
   }

@@ -106,7 +106,8 @@ std::vector<std::vector<SweepPoint>> SweepRunner::run(
       if (e == nullptr || !e->completed()) continue;  // failed/missing: re-run
       const SweepSeriesSpec& spec = specs[points[i].series];
       const double load = spec.loads[points[i].load_index];
-      const std::uint64_t seed = derive_point_seed(opts_.config.seed, i);
+      const std::uint64_t seed =
+          spec.seed_override ? *spec.seed_override : derive_point_seed(opts_.config.seed, i);
       // The manifest hash should have caught any config drift already;
       // these per-entry checks are the second lock on the same door (a
       // journal edited by hand, or a manifest that failed to capture some
@@ -125,7 +126,8 @@ std::vector<std::vector<SweepPoint>> SweepRunner::run(
     const SweepSeriesSpec& spec = specs[points[i].series];
     const double load = spec.loads[points[i].load_index];
     const TimePs duration = spec.duration > 0 ? spec.duration : opts_.duration;
-    const std::uint64_t seed0 = derive_point_seed(opts_.config.seed, i);
+    const std::uint64_t seed0 =
+        spec.seed_override ? *spec.seed_override : derive_point_seed(opts_.config.seed, i);
 
     if (const JournalEntry* e = restored[i]) {
       SweepPoint pt;
@@ -155,6 +157,7 @@ std::vector<std::vector<SweepPoint>> SweepRunner::run(
     for (int attempt = 0; attempt < max_attempts; ++attempt) {
       SimConfig cfg = opts_.config;
       cfg.seed = attempt == 0 ? seed0 : derive_point_seed(seed0, attempt);
+      if (spec.fault.enabled()) cfg.fault = spec.fault;
       if (opts_.point_timeout_seconds > 0.0) {
         cfg.wall_limit_seconds = opts_.point_timeout_seconds;
       }

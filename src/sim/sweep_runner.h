@@ -49,6 +49,16 @@ struct SweepSeriesSpec {
   /// deadline tests rely on this to build an unfinishable point next to
   /// quick ones).
   TimePs duration = 0;
+  /// Per-series fault injection: a non-empty schedule replaces
+  /// SweepRunOptions::config.fault for this series' points, so one sweep
+  /// can contrast recovery policies over the same burst (the campaign
+  /// runner's fault matrix; see docs/campaigns.md). Empty = inherit.
+  FaultConfig fault;
+  /// Fixed seed for every point of this series, replacing the per-point
+  /// derive_point_seed(base, index) stream. Used by campaign sweeps ported
+  /// from serial benches that ran all points on the invocation seed —
+  /// reproduction must be bit-identical, so the seed policy is data.
+  std::optional<std::uint64_t> seed_override;
 };
 
 struct SweepRunOptions {

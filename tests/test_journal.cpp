@@ -7,7 +7,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -19,6 +21,7 @@
 #include "bench_common.h"
 #include "common/error.h"
 #include "common/journal.h"
+#include "common/json.h"
 #include "common/thread_pool.h"
 #include "sim/fault.h"
 #include "sim/sweep_runner.h"
@@ -111,6 +114,66 @@ TEST(JournalLine, RoundTripsFailureWithHostileErrorText) {
   EXPECT_EQ(r.status, "failed");
   EXPECT_EQ(r.error, e.error);
   EXPECT_FALSE(r.completed());
+}
+
+TEST(JournalLine, NonFiniteDoublesRenderAsNullAndRoundTrip) {
+  // A wedged exchange or a zero-sample point can produce NaN/inf metrics.
+  // JSON has no representation for them — the line must stay machine-valid
+  // (null, never a bare nan/inf token) and resume must read them back as
+  // NaN rather than rejecting the entry.
+  JournalEntry e = sample_entry();
+  e.throughput = std::numeric_limits<double>::quiet_NaN();
+  e.avg_latency_ns = std::numeric_limits<double>::infinity();
+  e.p99_latency_ns = -std::numeric_limits<double>::infinity();
+  e.exchange_completed = 0;  // emit the exchange fields too
+  e.completion_us = std::numeric_limits<double>::quiet_NaN();
+  const std::string line = SweepJournal::render_line(e);
+  EXPECT_EQ(line.find("nan"), std::string::npos) << line;
+  EXPECT_EQ(line.find("inf"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"throughput\": null"), std::string::npos) << line;
+  JournalEntry r;
+  ASSERT_TRUE(SweepJournal::parse_line(line, r));
+  EXPECT_TRUE(std::isnan(r.throughput));
+  EXPECT_TRUE(std::isnan(r.avg_latency_ns));
+  EXPECT_TRUE(std::isnan(r.p99_latency_ns));
+  EXPECT_TRUE(std::isnan(r.completion_us));
+  // The finite fields still round-trip exactly alongside the nulls.
+  EXPECT_EQ(r.load, e.load);
+  EXPECT_EQ(r.payload, e.payload);
+}
+
+TEST(JournalLine, RoundTripsExchangeRowFields) {
+  // Exchange rows (campaign fig13 scopes) ride the same line format with
+  // the exchange_completed/completion_us/wedged extension.
+  JournalEntry e = sample_entry();
+  e.key = "Fig. 13#2";
+  e.exchange_completed = 1;
+  e.completion_us = 1234.5;
+  e.wedged = true;
+  JournalEntry r;
+  ASSERT_TRUE(SweepJournal::parse_line(SweepJournal::render_line(e), r));
+  EXPECT_EQ(r.exchange_completed, 1);
+  EXPECT_EQ(r.completion_us, 1234.5);
+  EXPECT_TRUE(r.wedged);
+  // Sweep-point entries keep the sentinel: journals written before the
+  // extension (no such keys on the line) parse unchanged.
+  JournalEntry plain;
+  ASSERT_TRUE(SweepJournal::parse_line(SweepJournal::render_line(sample_entry()), plain));
+  EXPECT_EQ(plain.exchange_completed, -1);
+  EXPECT_FALSE(plain.wedged);
+}
+
+TEST(WriteJsonDouble, FiniteValuesPrintNonFiniteBecomeNull) {
+  std::ostringstream os;
+  os.precision(10);
+  write_json_double(os, 0.6875);
+  os << " ";
+  write_json_double(os, std::numeric_limits<double>::quiet_NaN());
+  os << " ";
+  write_json_double(os, std::numeric_limits<double>::infinity());
+  os << " ";
+  write_json_double(os, -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(os.str(), "0.6875 null null null");
 }
 
 TEST(JournalLine, RejectsTornAndCorruptLines) {

@@ -186,6 +186,32 @@ TEST(ShardedSim, ShardingMetricsExported) {
   EXPECT_EQ(serial.metrics->sharding.shard.size(), 0u);
 }
 
+TEST(ShardedSim, DemotionWarningsAreThreadSafeUnderParallelSweeps) {
+  // Every demotion path prints a warn-once diagnostic. Under a parallel
+  // sweep many SimStacks hit those paths concurrently, so the once-flags
+  // must be atomic — this test exists to put the racing writes under TSan
+  // (scripts/ci.sh stage 2); with plain `static bool` flags it reports a
+  // data race.
+  const Topology topo = build_slim_fly(5);
+  UniformTraffic uni(topo.num_nodes());
+  SweepSeriesSpec spec;
+  spec.label = "sf-ugal-g";
+  spec.topo = &topo;
+  spec.strategy = RoutingStrategy::kUgalGlobal;  // demotes every point
+  spec.pattern = &uni;
+  spec.loads = {0.3, 0.4, 0.5, 0.6};
+
+  SweepRunOptions opts;
+  opts.jobs = 4;
+  opts.config = sharded_config(2, 17);
+  opts.duration = us(2);
+  opts.warmup = us(1);
+  SweepRunner runner(opts);
+  const auto out = runner.run({spec});
+  ASSERT_EQ(out[0].size(), 4u);
+  for (const SweepPoint& pt : out[0]) EXPECT_GT(pt.result.events_processed, 0);
+}
+
 TEST(ShardedSim, ShardsComposeWithSweepJobs) {
   // A sharded sweep point must produce the same digest regardless of how
   // many sweep jobs run around it (thread interleaving never reaches any
