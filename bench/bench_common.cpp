@@ -1,5 +1,6 @@
 #include "bench_common.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -12,6 +13,7 @@
 #include "common/journal.h"
 #include "common/json.h"
 #include "common/thread_pool.h"
+#include "sim/campaign.h"
 #include "sim/traffic.h"
 #include "topology/mlfm.h"
 #include "topology/oft.h"
@@ -67,7 +69,8 @@ void add_standard_flags(Cli& cli) {
             "that timed out or threw");
 }
 
-BenchOptions read_standard_flags(const Cli& cli) {
+BenchOptions read_standard_flags(const Cli& cli, int workers) {
+  D2NET_REQUIRE(workers >= 1, "worker count must be >= 1");
   BenchOptions opts;
   opts.full = cli.get_bool("full");
   opts.duration = us(cli.get_double("duration-us"));
@@ -80,20 +83,32 @@ BenchOptions read_standard_flags(const Cli& cli) {
   D2NET_REQUIRE(opts.shards >= 1, "--shards must be >= 1");
   // With explicit --jobs the user overrides the auto-division; flag the
   // combination that lands shards x jobs threads on fewer cores. --jobs 0
-  // never oversubscribes: SweepRunner divides the machine by shards.
-  if (opts.jobs > 0 && opts.shards > 1) {
-    const long long threads =
-        static_cast<long long>(opts.shards) * opts.jobs;
+  // never oversubscribes solo (SweepRunner divides the machine by shards),
+  // but N co-located campaign workers each take that division — the
+  // auto-sized case oversubscribes exactly when workers > 1.
+  if ((opts.jobs > 0 && opts.shards > 1) || workers > 1) {
     const int hw = ThreadPool::hardware_concurrency();
+    const int eff_jobs =
+        opts.jobs > 0 ? opts.jobs : std::max(1, hw / std::max(1, opts.shards));
+    const long long threads = static_cast<long long>(workers) * opts.shards * eff_jobs;
     // atomic for the same reason as the demotion notes in sim/network.cpp:
     // warn-once flags in reusable code must assume concurrent callers.
     static std::atomic<bool> warned{false};
     if (threads > hw && !warned.exchange(true, std::memory_order_relaxed)) {
-      std::fprintf(stderr,
-                   "warning: --shards %d x --jobs %d = %lld simulation "
-                   "threads exceeds hardware concurrency (%d); expect "
-                   "contention, not speedup\n",
-                   opts.shards, opts.jobs, threads, hw);
+      if (workers > 1) {
+        std::fprintf(stderr,
+                     "warning: --workers %d x --shards %d x %d job(s) = %lld "
+                     "simulation threads exceeds hardware concurrency (%d) if "
+                     "all workers share this host; expect contention, not "
+                     "speedup\n",
+                     workers, opts.shards, eff_jobs, threads, hw);
+      } else {
+        std::fprintf(stderr,
+                     "warning: --shards %d x --jobs %d = %lld simulation "
+                     "threads exceeds hardware concurrency (%d); expect "
+                     "contention, not speedup\n",
+                     opts.shards, opts.jobs, threads, hw);
+      }
     }
   }
   opts.json_path = cli.get_string("json");
@@ -394,12 +409,17 @@ BenchReport::BenchReport(std::string bench_name, const BenchOptions& opts,
     D2NET_REQUIRE(probe.good(), "cannot open --json path: " + opts_.json_path);
   }
   if (!opts_.journal_dir.empty()) {
+    JournalOptions jopts;
+    jopts.durable = opts_.journal_durable;
+    jopts.worker = opts_.journal_worker;
     journal_ = std::make_unique<SweepJournal>(
         opts_.journal_dir, bench_manifest(bench_name_, opts_) + manifest_extra,
-        opts_.resume);
+        opts_.resume, std::move(jopts));
     if (opts_.resume && journal_->loaded_points() > 0) {
-      std::printf("resuming from %s: %zu completed point(s) on record\n",
-                  opts_.journal_dir.c_str(), journal_->loaded_points());
+      const std::string prefix =
+          opts_.journal_worker.empty() ? "" : "[worker " + opts_.journal_worker + "] ";
+      std::printf("%sresuming from %s: %zu completed point(s) on record\n",
+                  prefix.c_str(), opts_.journal_dir.c_str(), journal_->loaded_points());
     }
   }
 }
@@ -593,26 +613,37 @@ std::vector<ExchangeRow> run_exchange_table(const std::string& title_base,
                                             const std::vector<ExchangeRowSpec>& rows,
                                             std::int64_t bytes_per_pair, A2aOrder order,
                                             TimePs time_limit, const BenchOptions& opts,
-                                            BenchReport* report) {
+                                            BenchReport* report,
+                                            const ExchangeRunControl* ctl) {
   D2NET_REQUIRE(!rows.empty(), "exchange table needs at least one row");
-  const std::string title =
-      title_base + " (" + std::to_string(bytes_per_pair) + " B/pair, " +
-      (order == A2aOrder::kStaggered ? "staggered" : "shuffled+interleaved") + ")";
+  // exchange_table_title is shared with the campaign merge step's key
+  // enumeration — the composed scope must never drift between them.
+  const std::string title = exchange_table_title(title_base, bytes_per_pair, order);
+  const bool quiet = ctl != nullptr && ctl->quiet;
+  const std::vector<char>* selected = ctl != nullptr ? ctl->selected : nullptr;
+  if (selected != nullptr) {
+    D2NET_REQUIRE(selected->size() == rows.size(),
+                  "selection mask must cover every exchange row");
+  }
 
   SimConfig cfg = opts.sweep_options().config;
   // --point-timeout bounds the wall clock of each exchange run.
   cfg.wall_limit_seconds = opts.point_timeout_s;
 
-  SweepJournal* journal = report != nullptr ? report->journal() : nullptr;
+  SweepJournal* journal = ctl != nullptr && ctl->journal != nullptr
+                              ? ctl->journal
+                              : (report != nullptr ? report->journal() : nullptr);
   auto key_for = [&](std::size_t i) { return title + "#" + std::to_string(i); };
   auto fingerprint = [](const Topology& t) {
     std::ostringstream os;
     os << "r=" << t.num_routers() << ",n=" << t.num_nodes() << ",l=" << t.num_links();
     return os.str();
   };
-  if (journal != nullptr) journal->register_scope(title);
+  if (journal != nullptr && (ctl == nullptr || ctl->register_scope)) {
+    journal->register_scope(title);
+  }
 
-  std::printf("== %s ==\n", title.c_str());
+  if (!quiet) std::printf("== %s ==\n", title.c_str());
   Table t({"system", "routing", "eff. throughput", "completion (us)"});
   const auto wall_start = std::chrono::steady_clock::now();
   std::int64_t restored_rows = 0;
@@ -625,6 +656,11 @@ std::vector<ExchangeRow> run_exchange_table(const std::string& title_base,
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const ExchangeRowSpec& spec = rows[i];
     D2NET_REQUIRE(spec.topo != nullptr, "exchange row needs a topology");
+    if (selected != nullptr && !(*selected)[i]) {
+      // Another worker's row: untouched placeholder (never presented).
+      out.emplace_back();
+      continue;
+    }
     ExchangeRow row;
     row.system = spec.system;
     row.routing = to_string(spec.strategy);
@@ -689,13 +725,17 @@ std::vector<ExchangeRow> run_exchange_table(const std::string& title_base,
     const ExchangeResult& r = row.result;
     const char* abort_marker =
         r.faults.wedged ? "WEDGED" : r.timed_out ? "DEADLINE" : "TIMEOUT";
-    t.add(row.system, row.routing,
-          r.completed ? fmt(r.effective_throughput, 3) : abort_marker,
-          r.completed ? fmt(r.completion_us, 1) : abort_marker);
+    if (!quiet) {
+      t.add(row.system, row.routing,
+            r.completed ? fmt(r.effective_throughput, 3) : abort_marker,
+            r.completed ? fmt(r.completion_us, 1) : abort_marker);
+    }
     out.push_back(std::move(row));
   }
-  t.print(std::cout);
-  if (opts.csv) t.print_csv(std::cout);
+  if (!quiet) {
+    t.print(std::cout);
+    if (opts.csv) t.print_csv(std::cout);
+  }
 
   SweepRunStats stats;
   stats.wall_seconds =
@@ -703,7 +743,7 @@ std::vector<ExchangeRow> run_exchange_table(const std::string& title_base,
   stats.points = static_cast<std::int64_t>(out.size());
   stats.restored_points = restored_rows;
   stats.jobs = 1;
-  if (restored_rows > 0) {
+  if (restored_rows > 0 && !quiet) {
     std::printf("durability: %lld row(s) restored from journal\n",
                 static_cast<long long>(restored_rows));
   }

@@ -42,6 +42,17 @@ struct BenchOptions {
   double point_timeout_s = 0;  ///< --point-timeout: wall budget per point, s
   int point_retries = 1;       ///< --point-retries: extra attempts per point
 
+  // Multi-worker campaigns (see docs/campaigns.md, distributed campaigns).
+  // These do not enter the journal manifest: like --jobs, they change how
+  // the work is executed, never what it computes.
+  /// fsync journal appends + directory metadata (JournalOptions::durable).
+  /// Defaults off for plain benches (the historical flush-only behavior);
+  /// the campaign runner turns it on.
+  bool journal_durable = false;
+  /// Worker id stamped on journal entries and stderr diagnostics
+  /// (JournalOptions::worker). Empty = solo.
+  std::string journal_worker;
+
   /// SweepRunner options carrying these settings (seed becomes the base
   /// seed for per-point derivation).
   SweepRunOptions sweep_options() const;
@@ -50,8 +61,11 @@ struct BenchOptions {
 /// Registers the standard flags on a Cli.
 void add_standard_flags(Cli& cli);
 
-/// Reads them back after parsing.
-BenchOptions read_standard_flags(const Cli& cli);
+/// Reads them back after parsing. `workers` is the number of cooperating
+/// campaign worker processes expected on this machine (1 for every plain
+/// bench): the oversubscription warning accounts for workers x jobs x
+/// shards threads landing on one host's cores.
+BenchOptions read_standard_flags(const Cli& cli, int workers = 1);
 
 /// One of the paper's four evaluated systems (Section 4.1).
 struct SystemConfig {
@@ -218,6 +232,25 @@ struct ExchangeRowSpec {
   RoutingStrategy strategy = RoutingStrategy::kMinimal;
 };
 
+/// Worker-mode execution control for run_exchange_table (see
+/// docs/campaigns.md, distributed campaigns). Null = the solo behavior.
+struct ExchangeRunControl {
+  /// Row mask (size = rows.size()); rows with a zero entry are skipped
+  /// entirely — not restored, not executed, not journaled — and returned
+  /// as empty placeholders. Row keys are positional, so a worker
+  /// executing a slice journals exactly the keys a solo run would.
+  const std::vector<char>* selected = nullptr;
+  /// Register the composed title as a journal scope. A worker executing
+  /// several shards of one table passes false after the first.
+  bool register_scope = true;
+  /// Suppress the printed table/timing (workers execute; only the merged
+  /// run presents).
+  bool quiet = false;
+  /// Journal override: journal rows here instead of report->journal()
+  /// (worker mode runs without a BenchReport). Non-owning.
+  SweepJournal* journal = nullptr;
+};
+
 /// Runs an all-to-all exchange table (the Fig. 13 shape): for each row, one
 /// make_all_to_all_plan(num_nodes, bytes_per_pair, order, opts.seed)
 /// exchange on a fresh SimStack with cfg.seed = opts.seed, bounded by
@@ -233,7 +266,8 @@ std::vector<ExchangeRow> run_exchange_table(const std::string& title_base,
                                             const std::vector<ExchangeRowSpec>& rows,
                                             std::int64_t bytes_per_pair, A2aOrder order,
                                             TimePs time_limit, const BenchOptions& opts,
-                                            BenchReport* report);
+                                            BenchReport* report,
+                                            const ExchangeRunControl* ctl = nullptr);
 
 /// Default offered-load grids for the bench binaries (coarser than the
 /// library's, sized for a single-core host).

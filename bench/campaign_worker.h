@@ -1,0 +1,74 @@
+// Multi-worker campaign execution (see docs/campaigns.md, "Distributed
+// campaigns").
+//
+// N independent `d2net_campaign --workers=N --worker-id=<id>` processes —
+// one host or many sharing a filesystem — cooperatively execute one
+// campaign. Each worker claims contiguous shards of the deterministic
+// expanded point list through the lease protocol (sim/claim.h), executes
+// the claimed points into its own crash-safe journal under
+// `<journal>/workers/<id>/`, and heartbeats while running so a dead or
+// wedged worker's shards are stolen after --lease-ttl. A final
+// `d2net_campaign --merge` invocation k-way merges the worker journals in
+// spec expansion order and replays the campaign through the ordinary
+// resume path, so its stdout/--json output is byte-identical to a
+// single-process run (scripts/ci.sh stage 6 kills a worker mid-shard and
+// enforces exactly that).
+#pragma once
+
+#include <string>
+
+#include "bench_common.h"
+#include "sim/campaign.h"
+#include "sim/claim.h"
+
+namespace d2net::bench {
+
+/// Executes the whole campaign in this process through a BenchReport
+/// (table printing, --json, journal/resume) and returns the process exit
+/// code. The solo d2net_campaign path and the post---merge presentation
+/// run share this one function — which is what makes merged output
+/// byte-identical to a single-process run.
+int execute_campaign(const CampaignSpec& spec, const ExpandedCampaign& plan,
+                     const BenchOptions& opts, const std::string& manifest_extra);
+
+struct CampaignWorkerOptions {
+  int workers = 1;          ///< cooperating worker processes (capacity hint)
+  std::string worker_id;    ///< unique per worker; journals under workers/<id>
+  double lease_ttl = 30.0;  ///< seconds without heartbeat before a steal
+  /// Points per claimed shard; 0 = auto (~4 shards per worker). Every
+  /// worker of one campaign must agree (pinned on disk, mismatch is a hard
+  /// error).
+  int shard_points = 0;
+  ClaimClock clock;  ///< injected by tests; empty = wall clock
+};
+
+/// Runs one cooperating worker to completion: claim or steal shards,
+/// execute their points into `<journal>/workers/<id>/`, heartbeat while
+/// running, mark complete; back off (bounded exponential) while other live
+/// workers hold the remaining shards. Returns 0 once every shard of the
+/// campaign is complete (whoever executed it); per-point failures are
+/// journaled and reported, then aggregated by --merge — a worker never
+/// silently drops a point. The D2NET_CAMPAIGN_HOLD env var (seconds)
+/// makes the worker sleep that long after its first claim before
+/// executing, while heartbeating — the CI chaos drill's kill window.
+int run_campaign_worker(const CampaignSpec& spec, const ExpandedCampaign& plan,
+                        const BenchOptions& opts, const std::string& manifest_extra,
+                        const CampaignWorkerOptions& wopts);
+
+/// Merges the per-worker journals into `<journal>/journal.jsonl` (see
+/// merge_worker_journals), prints the merge summary, then resumes the
+/// campaign through execute_campaign: restored points splice back
+/// verbatim, missing ones are executed here, failures aggregate into the
+/// exit code exactly as a solo run's would.
+int run_campaign_merge(const CampaignSpec& spec, const ExpandedCampaign& plan,
+                       BenchOptions opts, const std::string& manifest_extra);
+
+/// Prints per-shard campaign state (unclaimed / leased by whom + heartbeat
+/// age / stale / done, plus executed/failed point counts from the worker
+/// journals) using only the journal directory — a stalled campaign is
+/// diagnosable without attaching to any worker. Returns a process exit
+/// code (non-zero when the directory holds no campaign).
+int print_campaign_status(const ExpandedCampaign& plan, const BenchOptions& opts,
+                          double lease_ttl);
+
+}  // namespace d2net::bench

@@ -12,12 +12,22 @@
 // The journal manifest additionally pins the spec text's FNV-1a hash:
 // editing a spec invalidates its journals, so a resumed campaign can never
 // silently mix results from two versions of the experiment.
+//
+// Beyond the solo path, the driver fans one campaign out across processes
+// and hosts (see docs/campaigns.md, "Distributed campaigns"):
+//   --workers/--worker-id   join as one cooperating worker (lease-based
+//                           shard claiming; survives any worker dying)
+//   --lease-ttl             staleness threshold for stealing a dead
+//                           worker's shards
+//   --merge                 merge worker journals and emit output
+//                           byte-identical to a single-process run
+//   --status                per-shard campaign state from the journal dir
 #include <cstdio>
 #include <fstream>
-#include <iostream>
 #include <sstream>
 
 #include "bench_common.h"
+#include "campaign_worker.h"
 #include "common/error.h"
 #include "sim/campaign.h"
 
@@ -66,10 +76,37 @@ int main(int argc, char** argv) {
   Cli cli("declarative campaign runner: expand and execute a campaigns/*.json spec "
           "(see docs/campaigns.md)");
   cli.flag("spec", std::string{}, "campaign spec file (JSON; required)")
-      .flag("dry-run", false, "print the expanded matrix and exit without simulating");
+      .flag("dry-run", false, "print the expanded matrix and exit without simulating")
+      .flag("workers", std::int64_t{1},
+            "cooperating worker processes executing this campaign via "
+            "lease-based shard claiming (see docs/campaigns.md); all must "
+            "share --journal on one filesystem")
+      .flag("worker-id", std::string{},
+            "unique id of this worker (journals under <journal>/workers/<id>); "
+            "setting it joins worker mode even with --workers=1")
+      .flag("lease-ttl", 30.0,
+            "seconds without heartbeat before a worker's shard lease is "
+            "considered stale and stealable")
+      .flag("shard-points", std::int64_t{0},
+            "points per claimed shard (0 = auto, ~4 shards per worker); all "
+            "workers of one campaign must agree")
+      .flag("merge", false,
+            "merge per-worker journals into <journal>/journal.jsonl and emit "
+            "campaign output byte-identical to a single-process run")
+      .flag("status", false,
+            "print per-shard campaign state (unclaimed/leased/stale/done) "
+            "from the journal directory and exit");
   add_standard_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
-  const BenchOptions opts = read_standard_flags(cli);
+
+  const int workers = static_cast<int>(cli.get_int("workers"));
+  D2NET_REQUIRE(workers >= 1, "--workers must be >= 1");
+  BenchOptions opts = read_standard_flags(cli, workers);
+  // Campaign mode defaults durable journaling on: the claim protocol (and
+  // any long study worth journaling) assumes an acked point survives a
+  // host power loss, not just a process kill. Bytes of all output are
+  // unaffected.
+  opts.journal_durable = !opts.journal_dir.empty();
   const std::string spec_path = cli.get_string("spec");
   D2NET_REQUIRE(!spec_path.empty(), "--spec=<file> is required");
 
@@ -88,57 +125,28 @@ int main(int argc, char** argv) {
   std::ostringstream extra;
   extra << "spec=" << spec_path << "\n"
         << "spec_fnv1a64=" << std::hex << fnv1a64(spec_text) << "\n";
-  BenchReport report(spec.name, opts, extra.str());
 
-  struct StepSummary {
-    std::string title;
-    const char* kind;
-    std::int64_t points = 0;
-    std::int64_t restored = 0;
-    std::int64_t timed_out = 0;
-    std::int64_t failed = 0;
-  };
-  std::vector<StepSummary> summaries;
-
-  for (const CampaignStep& step : plan.steps) {
-    if (step.load) {
-      const auto series = run_and_print_sweep(step.load->title, step.load->series, opts,
-                                              &report);
-      StepSummary sum{step.load->title, "sweep"};
-      for (const auto& s : series) {
-        for (const SweepPoint& pt : s) {
-          ++sum.points;
-          sum.restored += pt.restored ? 1 : 0;
-          sum.timed_out += pt.result.timed_out ? 1 : 0;
-          sum.failed += pt.failed ? 1 : 0;
-        }
-      }
-      summaries.push_back(std::move(sum));
-    } else {
-      const CampaignExchangeSweep& ex = *step.exchange;
-      std::vector<ExchangeRowSpec> rows;
-      for (const CampaignExchangeRow& r : ex.rows) {
-        rows.push_back({r.system, r.topo, r.strategy});
-      }
-      const auto done = run_exchange_table(ex.title, rows, ex.bytes_per_pair, ex.order,
-                                           ex.time_limit, opts, &report);
-      StepSummary sum{ex.title, "exchange"};
-      for (const ExchangeRow& r : done) {
-        ++sum.points;
-        sum.restored += r.restored ? 1 : 0;
-        sum.timed_out += (!r.result.completed) ? 1 : 0;
-      }
-      summaries.push_back(std::move(sum));
+  if (cli.get_bool("status")) {
+    return print_campaign_status(plan, opts, cli.get_double("lease-ttl"));
+  }
+  if (cli.get_bool("merge")) {
+    return run_campaign_merge(spec, plan, opts, extra.str());
+  }
+  if (workers > 1 || !cli.get_string("worker-id").empty()) {
+    CampaignWorkerOptions wopts;
+    wopts.workers = workers;
+    wopts.worker_id = cli.get_string("worker-id");
+    if (wopts.worker_id.empty()) {
+      wopts.worker_id = std::string("w") + std::to_string(::getpid());
     }
+    wopts.lease_ttl = cli.get_double("lease-ttl");
+    wopts.shard_points = static_cast<int>(cli.get_int("shard-points"));
+    D2NET_REQUIRE(wopts.shard_points >= 0, "--shard-points must be >= 0");
+    opts.journal_worker = wopts.worker_id;
+    return run_campaign_worker(spec, plan, opts, extra.str(), wopts);
   }
 
-  std::printf("\n== campaign summary: %s ==\n", spec.name.c_str());
-  Table summary({"step", "kind", "points", "restored", "timed out/aborted", "failed"});
-  for (const StepSummary& s : summaries) {
-    summary.add(s.title, s.kind, s.points, s.restored, s.timed_out, s.failed);
-  }
-  summary.print(std::cout);
-  if (opts.csv) summary.print_csv(std::cout);
-
-  return report.finish();
+  // Solo path: exactly the pre-distributed behavior (no protocol overhead,
+  // byte-identical output).
+  return execute_campaign(spec, plan, opts, extra.str());
 }

@@ -23,7 +23,11 @@
 # from bench binaries must reproduce those binaries' --json output
 # byte-for-byte, and a mixed load/fault/exchange campaign must survive a
 # simulated SIGKILL (journal truncated mid-file with a torn final line) and
-# resume to byte-identical output.
+# resume to byte-identical output. It closes with the multi-worker chaos
+# drill: three cooperating --workers processes, one SIGKILLed right after
+# claiming a shard (before journaling anything), a survivor stealing the
+# stale lease, and --merge output byte-identical (diff + sha256 digest) to
+# the single-process reference.
 #
 #   scripts/ci.sh            # all stages, build trees under build-ci*/
 #   SKIP_TSAN=1 scripts/ci.sh
@@ -189,6 +193,49 @@ if [[ "${SKIP_CAMPAIGN:-0}" != "1" ]]; then
     --journal="$WORK/smoke-cut" --resume --json="$WORK/smoke-resumed.json" >/dev/null
   diff <(normalize "$WORK/smoke-resumed.json") <(normalize "$WORK/smoke-clean.json")
   echo "campaign resume drill OK ($KEEP/$LINES journal lines survived the crash)"
+
+  # Multi-worker chaos drill (docs/campaigns.md, distributed campaigns):
+  # three cooperating workers on the smoke campaign; the first claims a
+  # shard and is SIGKILLed in the narrowest recovery window (lease
+  # published, zero journal entries). A survivor must steal the stale
+  # lease after --lease-ttl, and the merged output must be byte-identical
+  # (diff + digest) to the single-process reference above.
+  DIST="$WORK/smoke-dist"
+  rm -rf "$DIST"
+  D2NET_CAMPAIGN_HOLD=120 "$CAMPAIGN" --spec=campaigns/smoke.json "${ARGS[@]}" \
+    --journal="$DIST" --workers=3 --worker-id=victim --lease-ttl=2 \
+    > "$WORK/victim.log" 2>&1 &
+  VICTIM=$!
+  # The hold message means the victim holds a published lease and has
+  # journaled nothing — the exact crash window the steal path must absorb.
+  for _ in $(seq 1 200); do
+    grep -q "holding shard" "$WORK/victim.log" 2>/dev/null && break
+    sleep 0.1
+  done
+  grep -q "holding shard" "$WORK/victim.log"
+  kill -9 "$VICTIM" 2>/dev/null
+  wait "$VICTIM" 2>/dev/null || true
+  "$CAMPAIGN" --spec=campaigns/smoke.json "${ARGS[@]}" \
+    --journal="$DIST" --workers=3 --worker-id=survivor1 --lease-ttl=2 \
+    > "$WORK/survivor1.log" 2>&1 &
+  S1=$!
+  "$CAMPAIGN" --spec=campaigns/smoke.json "${ARGS[@]}" \
+    --journal="$DIST" --workers=3 --worker-id=survivor2 --lease-ttl=2 \
+    > "$WORK/survivor2.log" 2>&1 &
+  S2=$!
+  wait "$S1"
+  wait "$S2"
+  # Exactly the dead worker's shard must have been stolen.
+  grep -h "stole stale lease" "$WORK/survivor1.log" "$WORK/survivor2.log"
+  "$CAMPAIGN" --spec=campaigns/smoke.json "${ARGS[@]}" --journal="$DIST" --status
+  "$CAMPAIGN" --spec=campaigns/smoke.json "${ARGS[@]}" \
+    --journal="$DIST" --merge --json="$WORK/smoke-merged.json" >/dev/null
+  diff <(normalize "$WORK/smoke-merged.json") <(normalize "$WORK/smoke-clean.json")
+  MERGED_DIGEST=$(normalize "$WORK/smoke-merged.json" | sha256sum | cut -d' ' -f1)
+  REFERENCE_DIGEST=$(normalize "$WORK/smoke-clean.json" | sha256sum | cut -d' ' -f1)
+  [[ "$MERGED_DIGEST" == "$REFERENCE_DIGEST" ]]
+  echo "multi-worker chaos drill OK: survivor stole the dead worker's lease," \
+       "merged digest $MERGED_DIGEST matches the single-process reference"
 fi
 
 echo "CI OK"

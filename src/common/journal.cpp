@@ -1,9 +1,13 @@
 #include "common/journal.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <limits>
 #include <sstream>
 
@@ -50,6 +54,14 @@ std::uint64_t fnv1a64(std::string_view s) {
 }
 
 const char* build_describe() { return D2NET_BUILD_DESCRIBE; }
+
+bool fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
 
 namespace {
 
@@ -256,6 +268,50 @@ bool read_manifest(const std::string& dir, std::string& text_out, std::uint64_t&
 
 }  // namespace
 
+bool read_journal_manifest(const std::string& dir, std::string& text_out,
+                           std::uint64_t& hash_out) {
+  return read_manifest(dir, text_out, hash_out);
+}
+
+std::string render_lease(const LeaseRecord& l) {
+  std::ostringstream os;
+  char hex[32];
+  std::snprintf(hex, sizeof(hex), "%016llx", static_cast<unsigned long long>(l.spec_hash));
+  os << "{\"worker\": \"" << json_escape(l.worker) << "\""
+     << ", \"shard\": " << l.shard
+     << ", \"spec_hash\": \"" << hex << "\""
+     << ", \"acquired_at\": " << fmt_double(l.acquired_at)
+     << ", \"heartbeat_at\": " << fmt_double(l.heartbeat_at)
+     << ", \"token\": " << l.token << "}\n";
+  return os.str();
+}
+
+bool parse_lease(std::string_view text, LeaseRecord& out) {
+  JsonScanner sc{text};
+  if (!sc.consume('{')) return false;
+  out = LeaseRecord{};
+  while (sc.ok) {
+    if (sc.peek() == '}') break;
+    std::string key = sc.parse_string();
+    if (!sc.ok || !sc.consume(':')) return false;
+    if (key == "worker") out.worker = sc.parse_string();
+    else if (key == "shard") out.shard = sc.parse_int();
+    else if (key == "spec_hash") {
+      std::string hexs = sc.parse_string();
+      if (!sc.ok) return false;
+      char* end = nullptr;
+      out.spec_hash = std::strtoull(hexs.c_str(), &end, 16);
+      if (hexs.empty() || end != hexs.c_str() + hexs.size()) return false;
+    } else if (key == "acquired_at") out.acquired_at = sc.parse_double();
+    else if (key == "heartbeat_at") out.heartbeat_at = sc.parse_double();
+    else if (key == "token") out.token = sc.parse_uint();
+    else sc.parse_raw_value();  // forward compat
+    if (!sc.consume(',')) break;
+  }
+  if (!sc.ok || !sc.consume('}')) return false;
+  return !out.worker.empty() && out.shard >= 0;
+}
+
 std::string SweepJournal::render_line(const JournalEntry& e) {
   std::ostringstream os;
   os << "{\"key\": \"" << json_escape(e.key) << "\""
@@ -276,6 +332,8 @@ std::string SweepJournal::render_line(const JournalEntry& e) {
        << ", \"completion_us\": " << fmt_double(e.completion_us)
        << ", \"wedged\": " << (e.wedged ? "true" : "false");
   }
+  // Worker attribution only when set: solo journals stay byte-stable.
+  if (!e.worker.empty()) os << ", \"worker\": \"" << json_escape(e.worker) << "\"";
   if (!e.error.empty()) os << ", \"error\": \"" << json_escape(e.error) << "\"";
   os << ", \"result\": " << (e.payload.empty() ? "null" : e.payload) << "}";
   return os.str();
@@ -306,6 +364,7 @@ bool SweepJournal::parse_line(std::string_view line, JournalEntry& out) {
     else if (key == "exchange_completed") out.exchange_completed = static_cast<int>(sc.parse_int());
     else if (key == "completion_us") out.completion_us = sc.parse_double();
     else if (key == "wedged") out.wedged = sc.parse_raw_value() == "true";
+    else if (key == "worker") out.worker = sc.parse_string();
     else if (key == "error") out.error = sc.parse_string();
     else if (key == "result") {
       std::string_view raw = sc.parse_raw_value();
@@ -321,13 +380,19 @@ bool SweepJournal::parse_line(std::string_view line, JournalEntry& out) {
   return true;
 }
 
-SweepJournal::SweepJournal(std::string dir, std::string manifest_text, bool resume)
-    : dir_(std::move(dir)), manifest_text_(std::move(manifest_text)) {
+SweepJournal::SweepJournal(std::string dir, std::string manifest_text, bool resume,
+                           JournalOptions options)
+    : dir_(std::move(dir)), manifest_text_(std::move(manifest_text)),
+      options_(std::move(options)) {
   D2NET_REQUIRE(!dir_.empty(), "journal directory must not be empty");
   hash_ = fnv1a64(manifest_text_);
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
   D2NET_REQUIRE(!ec, "cannot create journal directory '" + dir_ + "': " + ec.message());
+  // Interleaved stderr from concurrent campaign workers must be
+  // attributable to the process that wrote it.
+  const std::string diag_prefix =
+      options_.worker.empty() ? "" : "[worker " + options_.worker + "] ";
 
   std::string prev_text;
   std::uint64_t prev_hash = 0;
@@ -353,8 +418,8 @@ SweepJournal::SweepJournal(std::string dir, std::string manifest_text, bool resu
       if (!parse_line(line, e)) {
         ++skipped;
         std::fprintf(stderr,
-                     "warning: skipping torn/corrupt journal line %zu in %s\n",
-                     lineno, journal_path(dir_).string().c_str());
+                     "%swarning: skipping torn/corrupt journal line %zu in %s\n",
+                     diag_prefix.c_str(), lineno, journal_path(dir_).string().c_str());
         continue;
       }
       entries_[e.key] = std::move(e);
@@ -373,21 +438,36 @@ SweepJournal::SweepJournal(std::string dir, std::string manifest_text, bool resu
         torn_tail = last != '\n';
       }
     }
-    out_.open(journal_path(dir_), std::ios::app);
-    if (torn_tail) out_ << '\n';
+    out_ = std::fopen(journal_path(dir_).string().c_str(), "ab");
+    if (out_ != nullptr && torn_tail) std::fputc('\n', out_);
   } else {
     // Fresh start (also: --resume with no prior manifest, so the same
-    // command line works for the first run and every restart).
-    std::ofstream mf(manifest_path(dir_), std::ios::trunc);
+    // command line works for the first run and every restart). The
+    // manifest is written to a temp name and renamed into place: a reader
+    // (a concurrent campaign worker validating its configuration) never
+    // sees a half-written manifest, and a crash mid-write leaves the old
+    // one intact.
     char hex[32];
     std::snprintf(hex, sizeof(hex), "%016llx", static_cast<unsigned long long>(hash_));
-    mf << "{\"hash\": \"" << hex << "\", \"manifest\": \"" << json_escape(manifest_text_)
-       << "\"}\n";
-    mf.flush();
-    D2NET_REQUIRE(mf.good(), "cannot write journal manifest in '" + dir_ + "'");
-    out_.open(journal_path(dir_), std::ios::trunc);
+    const std::filesystem::path tmp =
+        std::filesystem::path(dir_) / ("manifest.json.tmp." + std::to_string(::getpid()));
+    {
+      std::ofstream mf(tmp, std::ios::trunc);
+      mf << "{\"hash\": \"" << hex << "\", \"manifest\": \"" << json_escape(manifest_text_)
+         << "\"}\n";
+      mf.flush();
+      D2NET_REQUIRE(mf.good(), "cannot write journal manifest in '" + dir_ + "'");
+    }
+    std::filesystem::rename(tmp, manifest_path(dir_), ec);
+    D2NET_REQUIRE(!ec, "cannot install journal manifest in '" + dir_ + "': " + ec.message());
+    if (options_.durable) fsync_dir(dir_);
+    out_ = std::fopen(journal_path(dir_).string().c_str(), "wb");
   }
-  D2NET_REQUIRE(out_.good(), "cannot open journal file in '" + dir_ + "'");
+  D2NET_REQUIRE(out_ != nullptr, "cannot open journal file in '" + dir_ + "'");
+}
+
+SweepJournal::~SweepJournal() {
+  if (out_ != nullptr) std::fclose(out_);
 }
 
 const JournalEntry* SweepJournal::find(const std::string& key) const {
@@ -397,11 +477,24 @@ const JournalEntry* SweepJournal::find(const std::string& key) const {
 }
 
 void SweepJournal::append(const JournalEntry& e) {
-  const std::string line = render_line(e);
+  // Entries from a worker-attributed journal carry the worker id even when
+  // the caller did not stamp it (one stamping point instead of N call
+  // sites).
+  std::string line;
+  if (!options_.worker.empty() && e.worker.empty()) {
+    JournalEntry stamped = e;
+    stamped.worker = options_.worker;
+    line = render_line(stamped);
+  } else {
+    line = render_line(e);
+  }
   std::lock_guard<std::mutex> lock(mu_);
-  out_ << line << '\n';
-  out_.flush();
-  D2NET_REQUIRE(out_.good(), "journal append failed in '" + dir_ + "'");
+  bool ok = std::fwrite(line.data(), 1, line.size(), out_) == line.size() &&
+            std::fputc('\n', out_) != EOF && std::fflush(out_) == 0;
+  // Durable mode: the entry must survive a host power loss, not just a
+  // process kill — the claim protocol assumes an acked point is recorded.
+  if (ok && options_.durable) ok = ::fdatasync(::fileno(out_)) == 0;
+  D2NET_REQUIRE(ok, "journal append failed in '" + dir_ + "'");
 }
 
 void SweepJournal::register_scope(const std::string& scope) {

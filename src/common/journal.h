@@ -23,7 +23,7 @@
 #pragma once
 
 #include <cstdint>
-#include <fstream>
+#include <cstdio>
 #include <map>
 #include <mutex>
 #include <string>
@@ -44,6 +44,20 @@ std::uint64_t fnv1a64(std::string_view s);
 /// without git). Part of the sweep manifest: resuming a journal produced by
 /// a different build of the simulator is a configuration mismatch.
 const char* build_describe();
+
+/// Reads `<dir>/manifest.json` back (text + recorded hash); false when the
+/// file is missing or unparseable. The campaign merge step uses this to
+/// verify every worker journal was written under the top-level manifest
+/// before mixing their entries.
+bool read_journal_manifest(const std::string& dir, std::string& text_out,
+                           std::uint64_t& hash_out);
+
+/// Makes durable whatever `dir` records about its entries: fsyncs the
+/// directory fd so a freshly created/renamed file inside it survives a
+/// host power loss (see docs/campaigns.md, distributed campaigns). Returns
+/// false when the platform/filesystem refuses; callers treat that as
+/// best-effort (the write itself already succeeded).
+bool fsync_dir(const std::string& dir);
 
 /// One journal line: the durable record of one finished sweep point (or,
 /// for campaign exchange scopes, one finished exchange row).
@@ -69,11 +83,52 @@ struct JournalEntry {
   int exchange_completed = -1;
   double completion_us = 0.0;
   bool wedged = false;
+  /// Worker id of the process that executed the point (multi-worker
+  /// campaigns; see docs/campaigns.md). Empty on solo runs, and omitted
+  /// from the serialized line when empty so solo journals are byte-stable
+  /// across versions.
+  std::string worker;
   std::string error;    ///< exception text when status == "failed"
   std::string payload;  ///< rendered result JSON object ("" when failed)
 
   bool completed() const { return status == "ok" || status == "timed_out"; }
 };
+
+/// Journal behavior knobs (defaults preserve the PR 4 semantics).
+struct JournalOptions {
+  /// fsync the journal fd after every appended entry (and the directory
+  /// after the manifest write), so an acked point survives host power loss
+  /// — not just a process kill. Off for plain benches (flush-only, the
+  /// historical behavior); the campaign runner turns it on because the
+  /// multi-worker claim protocol assumes acked points are truly recorded.
+  bool durable = false;
+  /// Worker id stamped on every appended entry and prefixed to this
+  /// journal's stderr diagnostics, so interleaved logs from concurrent
+  /// workers are attributable. Empty = solo (no stamp, no prefix).
+  std::string worker;
+};
+
+/// One shard lease of the multi-worker claim protocol (see
+/// docs/campaigns.md): the JSON document stored in
+/// `<journal>/leases/shard-<id>.lease`. Timestamps are seconds since the
+/// Unix epoch — leases are compared across processes and hosts, so they
+/// use the shared wall clock (clock skew bounds are part of the protocol
+/// contract; see the failure matrix in the docs).
+struct LeaseRecord {
+  std::string worker;
+  std::int64_t shard = -1;
+  std::uint64_t spec_hash = 0;   ///< manifest hash; claim/steal sanity check
+  double acquired_at = 0.0;      ///< first claim time
+  double heartbeat_at = 0.0;     ///< last refresh; staleness is judged on this
+  std::uint64_t token = 0;       ///< unique per claim attempt (steal dedup)
+};
+
+/// Serializes a lease as a single JSON line (with trailing newline).
+std::string render_lease(const LeaseRecord& l);
+/// Parses a lease document; false on torn/corrupt input (a lease being
+/// rewritten by a dying worker must read as "unparseable", never crash the
+/// scanner).
+bool parse_lease(std::string_view text, LeaseRecord& out);
 
 /// Manifest + JSONL journal in one directory. Thread-safe appends (sweep
 /// points complete on pool workers); each line is flushed before append()
@@ -87,7 +142,11 @@ class SweepJournal {
   /// are loaded; a missing manifest degrades to a fresh start so one
   /// `--journal=d --resume` command works for both the first run and every
   /// restart after a crash.
-  SweepJournal(std::string dir, std::string manifest_text, bool resume);
+  SweepJournal(std::string dir, std::string manifest_text, bool resume,
+               JournalOptions options = {});
+  ~SweepJournal();
+  SweepJournal(const SweepJournal&) = delete;
+  SweepJournal& operator=(const SweepJournal&) = delete;
 
   /// Entry for `key`, or nullptr if the journal has none. A later line for
   /// the same key supersedes an earlier one (a resumed run re-recording a
@@ -104,6 +163,7 @@ class SweepJournal {
   std::size_t loaded_points() const { return entries_.size(); }
   std::uint64_t manifest_hash() const { return hash_; }
   const std::string& dir() const { return dir_; }
+  const JournalOptions& options() const { return options_; }
 
   /// Parses one journal line; nullopt on torn/corrupt input (the caller
   /// skips it). Exposed for tests.
@@ -114,10 +174,13 @@ class SweepJournal {
  private:
   std::string dir_;
   std::string manifest_text_;
+  JournalOptions options_;
   std::uint64_t hash_ = 0;
   std::map<std::string, JournalEntry> entries_;
   std::map<std::string, bool> scopes_;
-  std::ofstream out_;
+  /// stdio stream (not ofstream): durable mode needs the underlying fd for
+  /// fdatasync after each appended line.
+  std::FILE* out_ = nullptr;
   mutable std::mutex mu_;
 };
 

@@ -85,6 +85,14 @@ std::vector<std::vector<SweepPoint>> SweepRunner::run(
     for (std::size_t l = 0; l < specs[s].loads.size(); ++l) points.push_back({s, l});
   }
 
+  if (opts_.selected != nullptr) {
+    D2NET_REQUIRE(opts_.selected->size() == points.size(),
+                  "selection mask must cover every point of the sweep");
+  }
+  auto is_selected = [&](std::size_t i) {
+    return opts_.selected == nullptr || (*opts_.selected)[i] != 0;
+  };
+
   std::vector<std::int64_t> events(points.size(), 0);
   const auto t0 = std::chrono::steady_clock::now();
 
@@ -100,8 +108,9 @@ std::vector<std::vector<SweepPoint>> SweepRunner::run(
   // it here keeps the worker path free of validation branches.
   std::vector<const JournalEntry*> restored(points.size(), nullptr);
   if (opts_.journal != nullptr) {
-    opts_.journal->register_scope(opts_.scope);
+    if (opts_.register_scope) opts_.journal->register_scope(opts_.scope);
     for (std::size_t i = 0; i < points.size(); ++i) {
+      if (!is_selected(i)) continue;
       const JournalEntry* e = opts_.journal->find(key_for(i));
       if (e == nullptr || !e->completed()) continue;  // failed/missing: re-run
       const SweepSeriesSpec& spec = specs[points[i].series];
@@ -123,6 +132,7 @@ std::vector<std::vector<SweepPoint>> SweepRunner::run(
   }
 
   auto run_point = [&](std::size_t i) {
+    if (!is_selected(i)) return;  // another worker's point; leave untouched
     const SweepSeriesSpec& spec = specs[points[i].series];
     const double load = spec.loads[points[i].load_index];
     const TimePs duration = spec.duration > 0 ? spec.duration : opts_.duration;
@@ -225,7 +235,9 @@ std::vector<std::vector<SweepPoint>> SweepRunner::run(
   const auto t1 = std::chrono::steady_clock::now();
   stats_ = SweepRunStats{};
   stats_.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
-  stats_.points = static_cast<std::int64_t>(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (is_selected(i)) ++stats_.points;
+  }
   stats_.jobs = jobs_;
   for (std::int64_t e : events) stats_.events += e;
   for (const auto& series : out) {
