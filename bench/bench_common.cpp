@@ -299,6 +299,34 @@ void write_faults(std::ostream& os, const FaultStats& f) {
     }
     os << "]";
   }
+  // Control-plane convergence (propagation runs only): the block appears
+  // exactly when an update was originated, so oracle-fault output stays
+  // byte-stable across versions.
+  const ConvergenceStats& cv = f.convergence;
+  if (cv.updates > 0) {
+    os << ", \"convergence\": {\"updates\": " << cv.updates
+       << ", \"converged\": " << cv.converged << ", \"detections\": " << cv.detections
+       << ", \"flood_messages\": " << cv.flood_messages
+       << ", \"routers_reached\": " << cv.routers_reached
+       << ", \"misroutes\": " << cv.misroutes << ", \"budget_drops\": " << cv.budget_drops
+       << ", \"detection_ns_mean\": ";
+    write_json_double(os, cv.detections > 0
+                              ? to_ns(cv.detection_latency_sum) /
+                                    static_cast<double>(cv.detections)
+                              : 0.0);
+    os << ", \"detection_ns_max\": " << to_ns(cv.detection_latency_max)
+       << ", \"epoch_lag_ns_mean\": ";
+    write_json_double(os, cv.routers_reached > 0
+                              ? to_ns(cv.epoch_lag_sum) /
+                                    static_cast<double>(cv.routers_reached)
+                              : 0.0);
+    os << ", \"epoch_lag_ns_max\": " << to_ns(cv.epoch_lag_max)
+       << ", \"consistency_us_mean\": ";
+    write_json_double(os, cv.converged > 0 ? to_us(cv.consistency_time_sum) /
+                                                 static_cast<double>(cv.converged)
+                                           : 0.0);
+    os << ", \"consistency_us_max\": " << to_us(cv.consistency_time_max) << "}";
+  }
   os << "}";
 }
 

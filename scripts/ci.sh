@@ -18,10 +18,17 @@
 # regression table and never fails the build (CI machines are noisy; the
 # committed baseline is refreshed deliberately, see docs/perf.md).
 #
+# Stages 2 and 3 additionally run the transient-faults bench (whose
+# detection-delay sweep exercises modeled fault detection + link-state
+# propagation, see docs/resilience.md) under TSan and ASan+UBSan.
+#
 # Stage 6 enforces the campaign porting contract (docs/campaigns.md): every
 # committed spec under campaigns/ must --dry-run clean, the specs ported
 # from bench binaries must reproduce those binaries' --json output
-# byte-for-byte, and a mixed load/fault/exchange campaign must survive a
+# byte-for-byte (fig6, fig8's grid panels, fig13, transient_faults —
+# including the propagation sweep, whose convergence times also get a
+# warn-only +/-20% smoke against BENCH_convergence.json), and a mixed
+# load/fault/exchange campaign must survive a
 # simulated SIGKILL (journal truncated mid-file with a torn final line) and
 # resume to byte-identical output. It closes with the multi-worker chaos
 # drill: three cooperating --workers processes, one SIGKILLed right after
@@ -58,6 +65,14 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   TSAN_OPTIONS="halt_on_error=1" \
     ./build-ci-tsan/tests/test_determinism_digest --gtest_filter='*Sharded*'
   TSAN_OPTIONS="halt_on_error=1" ./build-ci-tsan/tests/test_sharded_sim
+  # Modeled fault propagation adds control-plane events that cross shard
+  # lanes through the coordinator; run its digest suite and the
+  # transient-faults bench (detection-delay sweep included) under TSan too.
+  cmake --build build-ci-tsan -j "$JOBS" --target bench_ablation_transient_faults
+  TSAN_OPTIONS="halt_on_error=1" \
+    ./build-ci-tsan/tests/test_determinism_digest --gtest_filter='*Propagation*'
+  TSAN_OPTIONS="halt_on_error=1" ./build-ci-tsan/bench/bench_ablation_transient_faults \
+    --duration-us=2 --warmup-us=0.5 --seed=3 --wedge-demo=false >/dev/null
 fi
 
 if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
@@ -68,6 +83,13 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
     ./build-ci-asan/tests/test_faults
   ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
     ./build-ci-asan/tests/test_sim_edge
+  # Propagation tears down in-flight state on stale local views (salvage
+  # resamples, misroute detours, drains at detection time) — exactly the
+  # lifetime-bug surface this stage exists for.
+  cmake --build build-ci-asan -j "$JOBS" --target bench_ablation_transient_faults
+  ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ./build-ci-asan/bench/bench_ablation_transient_faults \
+    --duration-us=2 --warmup-us=0.5 --seed=3 --wedge-demo=false >/dev/null
 fi
 
 if [[ "${SKIP_RESUME:-0}" != "1" ]]; then
@@ -139,7 +161,7 @@ if [[ "${SKIP_CAMPAIGN:-0}" != "1" ]]; then
   echo "=== stage 6: declarative campaign drill (specs vs ported benches) ==="
   cmake --build build-ci -j "$JOBS" --target d2net_campaign \
     --target bench_fig6_oblivious --target bench_fig13_all_to_all \
-    --target bench_ablation_transient_faults
+    --target bench_ablation_transient_faults --target bench_fig8_sf_adaptive_th
   CAMPAIGN=./build-ci/bench/d2net_campaign
   WORK=build-ci/campaign-drill
   rm -rf "$WORK" && mkdir -p "$WORK"
@@ -175,7 +197,41 @@ if [[ "${SKIP_CAMPAIGN:-0}" != "1" ]]; then
   "$CAMPAIGN" --spec=campaigns/transient_faults.json "${ARGS[@]}" \
     --json="$WORK/tf-spec.json" >/dev/null
   diff <(normalize "$WORK/tf-spec.json") <(normalize "$WORK/tf-bench.json")
-  echo "campaign porting contract OK: fig6/fig13/transient_faults byte-identical"
+
+  # fig8 exercises the grid axis ("vary nI" / "vary c" adaptive panels).
+  ./build-ci/bench/bench_fig8_sf_adaptive_th "${ARGS[@]}" \
+    --json="$WORK/fig8-bench.json" >/dev/null
+  "$CAMPAIGN" --spec=campaigns/fig8.json "${ARGS[@]}" \
+    --json="$WORK/fig8-spec.json" >/dev/null
+  diff <(normalize "$WORK/fig8-spec.json") <(normalize "$WORK/fig8-bench.json")
+  echo "campaign porting contract OK: fig6/fig8/fig13/transient_faults byte-identical"
+
+  # Warn-only convergence smoke: detection-to-consistency times of the
+  # modeled control plane vs the committed reference, +/-20% band. The
+  # values are simulated time and fully deterministic for these args, so
+  # drift means the propagation protocol model changed — refresh
+  # BENCH_convergence.json deliberately when that is intended.
+  if [[ -f BENCH_convergence.json ]]; then
+    mapfile -t ref < <(grep -oE '"consistency_us_mean": [0-9.]+' BENCH_convergence.json \
+      | awk '{print $2}')
+    mapfile -t cur < <(grep -oE '"consistency_us_mean": [0-9.]+' "$WORK/tf-bench.json" \
+      | awk '{print $2}')
+    if [[ "${#ref[@]}" -eq 0 || "${#ref[@]}" -ne "${#cur[@]}" ]]; then
+      echo "convergence smoke: point count mismatch (ref ${#ref[@]}," \
+           "current ${#cur[@]}) — refresh BENCH_convergence.json (warn-only)"
+    else
+      for i in $(seq 0 $(( ${#ref[@]} - 1 ))); do
+        awk -v r="${ref[$i]}" -v c="${cur[$i]}" -v i="$i" 'BEGIN {
+          d = r > 0 ? (c - r) / r * 100 : (c > 0 ? 999 : 0)
+          v = (d > 20 || d < -20) ? "DRIFT (warn-only)" : "ok"
+          printf "convergence smoke point %d: ref=%.3fus cur=%.3fus %+.1f%%  %s\n", i, r, c, d, v
+        }'
+      done
+      echo "convergence smoke done (informational; see docs/resilience.md)"
+    fi
+  else
+    echo "convergence smoke skipped: no committed BENCH_convergence.json"
+  fi
 
   # Kill/resume drill on the smoke campaign (mixed load, per-system fault
   # and exchange steps in one journal).

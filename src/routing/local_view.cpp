@@ -1,0 +1,33 @@
+#include "routing/local_view.h"
+
+namespace d2net {
+
+bool LocalFaultView::believes_link_alive(int router, int u, int v) const {
+  bool alive = true;
+  bool u_alive = true;
+  bool v_alive = true;
+  for (const int id : applied_order_) {
+    const Slot& s = slot(id);
+    if (!s.known[static_cast<std::size_t>(router)]) continue;
+    const LinkStateUpdate& lu = s.info;
+    if (lu.v < 0) {
+      if (lu.u == u) u_alive = lu.alive;
+      if (lu.u == v) v_alive = lu.alive;
+    } else if ((lu.u == u && lu.v == v) || (lu.u == v && lu.v == u)) {
+      alive = lu.alive;
+    }
+  }
+  return alive && u_alive && v_alive;
+}
+
+bool LocalFaultView::believes_router_alive(int router, int r) const {
+  bool alive = true;
+  for (const int id : applied_order_) {
+    const Slot& s = slot(id);
+    if (!s.known[static_cast<std::size_t>(router)]) continue;
+    if (s.info.v < 0 && s.info.u == r) alive = s.info.alive;
+  }
+  return alive;
+}
+
+}  // namespace d2net

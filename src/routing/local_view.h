@@ -1,0 +1,113 @@
+// Per-router believed fault state for the modeled control plane
+// (FaultConfig::propagation; see docs/resilience.md, "Detection and
+// propagation").
+//
+// With an oracle fault layer every router shares one global truth. With a
+// modeled control plane each fault becomes a *link-state update* that
+// routers learn at different times — at detection for the attached routers,
+// at flood arrival for everyone else — so, transiently, two routers can
+// disagree about which links exist. This class is that disagreement made
+// queryable: per (router, update) knowledge bits plus the derived believed
+// liveness of any link or router from a given router's viewpoint. The
+// engine consults it when salvage-rerouting ("does *this* router believe
+// the sampled path survives?") and the convergence tracker reads the
+// knowledge counts.
+//
+// Deliberately independent of sim/ headers: routing code stays below the
+// event core in the library layering.
+#pragma once
+
+#include <vector>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace d2net {
+
+/// One flooded link-state update: the undirected link (u, v) — or, when
+/// v < 0, router u — changed believed liveness to `alive`.
+struct LinkStateUpdate {
+  int u = -1;
+  int v = -1;  ///< < 0 marks a router-liveness update about `u`
+  bool alive = false;
+  TimePs phys_time = 0;  ///< when the physical fault happened
+  /// Routers eligible to learn the update (alive at phys_time); an update
+  /// is *converged* once known_count reaches this.
+  int target = 0;
+};
+
+class LocalFaultView {
+ public:
+  /// (Re)arms the view for a run: all knowledge cleared, slots for one
+  /// update per fault-schedule entry. `clear()`-ed views stay inert.
+  void reset(int num_routers, int num_updates) {
+    num_routers_ = num_routers;
+    updates_.assign(static_cast<std::size_t>(num_updates), Slot{});
+    applied_order_.clear();
+  }
+  void clear() { reset(0, 0); }
+  bool active() const { return num_routers_ > 0; }
+
+  /// Registers schedule entry `id` the instant its fault physically
+  /// applies. Updates register in simulated-time order, which is the order
+  /// believed-state queries replay them in.
+  void register_update(int id, int u, int v, bool alive, TimePs phys_time, int target) {
+    Slot& s = slot(id);
+    D2NET_ASSERT(!s.registered, "fault update registered twice");
+    s.registered = true;
+    s.info = {u, v, alive, phys_time, target};
+    s.known.assign(static_cast<std::size_t>(num_routers_), 0);
+    s.known_count = 0;
+    applied_order_.push_back(id);
+  }
+  bool registered(int id) const { return slot(id).registered; }
+  const LinkStateUpdate& update(int id) const { return slot(id).info; }
+
+  /// Router learns update `id`; false when it already knew. From the first
+  /// learning on, the router's believed liveness reflects the update.
+  bool learn(int router, int id) {
+    Slot& s = slot(id);
+    D2NET_ASSERT(s.registered, "learning an unregistered fault update");
+    char& bit = s.known[static_cast<std::size_t>(router)];
+    if (bit) return false;
+    bit = 1;
+    ++s.known_count;
+    return true;
+  }
+  bool knows(int router, int id) const {
+    const Slot& s = slot(id);
+    return s.registered && s.known[static_cast<std::size_t>(router)] != 0;
+  }
+  int known_count(int id) const { return slot(id).known_count; }
+  bool converged(int id) const {
+    const Slot& s = slot(id);
+    return s.registered && s.known_count >= s.info.target;
+  }
+
+  /// Believed liveness of the undirected link (u, v) from `router`'s
+  /// viewpoint: the latest *learned* update about it wins; with none the
+  /// link is believed alive. A learned router-down about either endpoint
+  /// also kills the belief (a dead router's links carry nothing).
+  bool believes_link_alive(int router, int u, int v) const;
+  /// Believed liveness of router r from `router`'s viewpoint.
+  bool believes_router_alive(int router, int r) const;
+
+ private:
+  struct Slot {
+    bool registered = false;
+    LinkStateUpdate info;
+    std::vector<char> known;  ///< per-router knowledge bit
+    int known_count = 0;
+  };
+  Slot& slot(int id) { return updates_[static_cast<std::size_t>(id)]; }
+  const Slot& slot(int id) const { return updates_[static_cast<std::size_t>(id)]; }
+
+  int num_routers_ = 0;
+  std::vector<Slot> updates_;
+  /// Update ids in physical-application order; believed-state queries scan
+  /// it so later state overrides earlier (down then up = up, once both are
+  /// known). Fault schedules are short, so the scan is cheap.
+  std::vector<int> applied_order_;
+};
+
+}  // namespace d2net

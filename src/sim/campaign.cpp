@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -48,6 +49,18 @@ std::string substitute(const std::string& s, const std::string& system,
 /// is the per-sweep uniqueness key).
 std::string expanded_series_label(const std::string& tmpl, RoutingStrategy s) {
   return replace_all(tmpl, "{routing}", to_string(s));
+}
+
+/// The label fragment one grid value substitutes for {grid}: the adaptive
+/// benches' convention ("nI=4", "c=0.25" — c with two decimals, fmt(v, 2)).
+std::string grid_value_label(const CampaignGrid& g, double v) {
+  char buf[32];
+  if (g.is_ni) {
+    std::snprintf(buf, sizeof buf, "nI=%d", static_cast<int>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "c=%.2f", v);
+  }
+  return buf;
 }
 
 // ------------------------------------------------------------ spec parsing
@@ -155,19 +168,31 @@ CampaignSeries parse_series(const Parse& p, const std::string& path, const JsonV
   if (!v.is_object()) p.fail(path, "expected an object");
   CampaignSeries out;
   if (sweep.kind == CampaignSweepKind::kExchange) {
-    p.check_keys(v, path, {"label", "routing"}, {"recovery", "reroute", "ni", "c"},
+    p.check_keys(v, path, {"label", "routing"},
+                 {"recovery", "reroute", "ni", "c", "detection_us", "flood_hop_us"},
                  "only valid for load_sweep series");
   } else {
-    p.check_keys(v, path, {"label", "routing", "recovery", "reroute", "ni", "c"});
+    p.check_keys(v, path,
+                 {"label", "routing", "recovery", "reroute", "ni", "c", "detection_us",
+                  "flood_hop_us"});
   }
   out.strategy =
       parse_routing(p, path + ".routing", p.req(v, path, "routing", JsonValue::Kind::kString).str);
   if (const JsonValue* l = p.opt(v, path, "label", JsonValue::Kind::kString)) {
     if (l->str.empty()) p.fail(path + ".label", "label must be non-empty");
     out.label = l->str;
+  } else if (sweep.grid) {
+    // Grid sweeps label their expanded series by the grid value alone, the
+    // adaptive benches' convention ("nI=1", "nI=4", ...).
+    out.label = "{grid}";
   } else {
     // The fig6 convention: "SF p=fl MIN", "MLFM INR", ...
     out.label = "{system} {routing}";
+  }
+  if (sweep.grid && out.label.find("{grid}") == std::string::npos) {
+    p.fail(path + ".label",
+           "series labels of a grid sweep must contain '{grid}' (the expanded "
+           "series would otherwise collide)");
   }
   if (const JsonValue* r = p.opt(v, path, "recovery", JsonValue::Kind::kString)) {
     if (!sweep.fault) p.fail(path + ".recovery", "series 'recovery' requires a sweep 'fault'");
@@ -183,11 +208,31 @@ CampaignSeries parse_series(const Parse& p, const std::string& path, const JsonV
   }
   if (const JsonValue* ni = p.opt(v, path, "ni", JsonValue::Kind::kNumber)) {
     if (!ni->number_is_int || ni->integer < 1) p.fail(path + ".ni", "expected an integer >= 1");
+    if (sweep.grid && sweep.grid->is_ni) {
+      p.fail(path + ".ni", "the sweep grid already varies 'ni'");
+    }
     out.ni = static_cast<int>(ni->integer);
   }
   if (const JsonValue* c = p.opt(v, path, "c", JsonValue::Kind::kNumber)) {
     if (c->number <= 0.0) p.fail(path + ".c", "expected a number > 0");
+    if (sweep.grid && !sweep.grid->is_ni) {
+      p.fail(path + ".c", "the sweep grid already varies 'c'");
+    }
     out.c = c->number;
+  }
+  if (const JsonValue* d = p.opt(v, path, "detection_us", JsonValue::Kind::kNumber)) {
+    if (!sweep.fault) {
+      p.fail(path + ".detection_us", "series 'detection_us' requires a sweep 'fault'");
+    }
+    if (d->number <= 0.0) p.fail(path + ".detection_us", "expected a number > 0");
+    out.detection_us = d->number;
+  }
+  if (const JsonValue* fh = p.opt(v, path, "flood_hop_us", JsonValue::Kind::kNumber)) {
+    if (!out.detection_us) {
+      p.fail(path + ".flood_hop_us", "series 'flood_hop_us' requires 'detection_us'");
+    }
+    if (fh->number < 0.0) p.fail(path + ".flood_hop_us", "expected a number >= 0");
+    out.flood_hop_us = fh->number;
   }
   return out;
 }
@@ -212,6 +257,30 @@ CampaignFault parse_fault(const Parse& p, const std::string& path, const JsonVal
   return out;
 }
 
+CampaignGrid parse_grid(const Parse& p, const std::string& path, const JsonValue& v) {
+  if (!v.is_object()) p.fail(path, "expected an object");
+  p.check_keys(v, path, {"param", "values"});
+  CampaignGrid out;
+  out.is_ni = p.parse_enum<bool>(path + ".param",
+                                 p.req(v, path, "param", JsonValue::Kind::kString).str,
+                                 {{"ni", true}, {"c", false}}, "grid param");
+  const JsonValue& values = p.req(v, path, "values", JsonValue::Kind::kArray);
+  if (values.array.empty()) p.fail(path + ".values", "grid values must be non-empty");
+  for (std::size_t i = 0; i < values.array.size(); ++i) {
+    const std::string ipath = path + ".values[" + std::to_string(i) + "]";
+    const JsonValue& e = values.array[i];
+    if (out.is_ni) {
+      if (!e.is_number() || !e.number_is_int || e.integer < 1) {
+        p.fail(ipath, "expected an integer >= 1");
+      }
+    } else if (!e.is_number() || e.number <= 0.0) {
+      p.fail(ipath, "expected a number > 0");
+    }
+    out.values.push_back(e.number);
+  }
+  return out;
+}
+
 CampaignSweep parse_sweep(const Parse& p, const std::string& path, const JsonValue& v,
                           const CampaignSpec& spec) {
   if (!v.is_object()) p.fail(path, "expected an object");
@@ -225,14 +294,14 @@ CampaignSweep parse_sweep(const Parse& p, const std::string& path, const JsonVal
   if (out.kind == CampaignSweepKind::kLoadSweep) {
     p.check_keys(v, path,
                  {"title", "kind", "systems", "per_system", "seed_mode", "series", "traffic",
-                  "shift", "loads", "fault"},
+                  "shift", "loads", "fault", "grid"},
                  {"bytes_per_pair", "order", "time_limit_us"},
                  "only valid for exchange sweeps");
   } else {
     p.check_keys(v, path,
                  {"title", "kind", "systems", "series", "bytes_per_pair", "order",
                   "time_limit_us"},
-                 {"traffic", "shift", "loads", "fault", "per_system", "seed_mode"},
+                 {"traffic", "shift", "loads", "fault", "per_system", "seed_mode", "grid"},
                  "only valid for load_sweep sweeps");
   }
 
@@ -292,6 +361,9 @@ CampaignSweep parse_sweep(const Parse& p, const std::string& path, const JsonVal
     }
     if (const JsonValue* f = v.find("fault")) {
       out.fault = parse_fault(p, path + ".fault", *f);
+    }
+    if (const JsonValue* g = v.find("grid")) {
+      out.grid = parse_grid(p, path + ".grid", *g);
     }
   } else {
     out.bytes_per_pair = p.opt_int(v, path, "bytes_per_pair", 7680);
@@ -478,9 +550,37 @@ ExpandedCampaign expand_campaign(const CampaignSpec& spec, const CampaignParams&
       if (sw.fault->sample_div > 0) {
         spec_.fault.recovery_sample = params.duration / sw.fault->sample_div;
       }
+      if (s.detection_us) {
+        spec_.fault.propagation = true;
+        spec_.fault.detection_delay = us(*s.detection_us);
+        if (s.flood_hop_us) spec_.fault.flood_process = us(*s.flood_hop_us);
+      }
     }
     if (sw.base_seed) spec_.seed_override = params.seed;
     return spec_;
+  };
+
+  // One system's series block: each spec entry, multiplied by the grid
+  // values when the sweep has a grid axis (series-major, grid-minor — the
+  // adaptive benches' panel order), with {grid} resolved in the label.
+  auto push_series = [&](const CampaignSweep& sw, std::size_t i,
+                         std::vector<SweepSeriesSpec>& dst) {
+    for (const CampaignSeries& s : sw.series) {
+      if (!sw.grid) {
+        dst.push_back(make_series(sw, s, i));
+        continue;
+      }
+      for (const double v : sw.grid->values) {
+        CampaignSeries g = s;
+        if (sw.grid->is_ni) {
+          g.ni = static_cast<int>(v);
+        } else {
+          g.c = v;
+        }
+        g.label = replace_all(g.label, "{grid}", grid_value_label(*sw.grid, v));
+        dst.push_back(make_series(sw, g, i));
+      }
+    }
   };
 
   for (const CampaignSweep& sw : spec.sweeps) {
@@ -506,7 +606,7 @@ ExpandedCampaign expand_campaign(const CampaignSpec& spec, const CampaignParams&
         CampaignStep step;
         CampaignLoadSweep ls;
         ls.title = substitute(sw.title, spec.systems[i].label, "");
-        for (const CampaignSeries& s : sw.series) ls.series.push_back(make_series(sw, s, i));
+        push_series(sw, i, ls.series);
         step.load = std::move(ls);
         out.steps.push_back(std::move(step));
       }
@@ -516,9 +616,7 @@ ExpandedCampaign expand_campaign(const CampaignSpec& spec, const CampaignParams&
       ls.title = sw.title;
       // System-major, series-minor: the benches' loop order, which the
       // per-point seed stream and journal keys depend on.
-      for (std::size_t i : sel) {
-        for (const CampaignSeries& s : sw.series) ls.series.push_back(make_series(sw, s, i));
-      }
+      for (std::size_t i : sel) push_series(sw, i, ls.series);
       step.load = std::move(ls);
       out.steps.push_back(std::move(step));
     }

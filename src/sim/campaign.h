@@ -14,6 +14,10 @@
 //    system, one SweepSeriesSpec per series entry, in spec order. That is
 //    the loop order of bench_fig6_oblivious (labels and point indices —
 //    and therefore derived seeds and journal keys — depend on it).
+//  - A sweep's optional `grid` axis multiplies each series entry by the
+//    grid values, series-major grid-minor, substituting {grid} in labels
+//    ("nI=4" / "c=0.25") — the loop order of the adaptive panel benches
+//    (bench_fig8_sf_adaptive_th and friends).
 //  - Worst-case traffic builds its permutation from a fresh Rng seeded
 //    with the invocation seed per system, matching the benches.
 //  - seed_mode "base" pins every point of the sweep to the invocation
@@ -73,7 +77,8 @@ struct CampaignFault {
 };
 
 /// One series of a sweep. `label` may contain the placeholders {system}
-/// and {routing}, substituted at expansion time.
+/// and {routing} — and, on grid sweeps, {grid} — substituted at expansion
+/// time.
 struct CampaignSeries {
   std::string label;
   RoutingStrategy strategy = RoutingStrategy::kMinimal;
@@ -86,6 +91,22 @@ struct CampaignSeries {
   /// routing tables rebuild on fault events.
   FaultRecovery recovery = FaultRecovery::kSalvage;
   bool reroute = true;
+  /// Modeled control plane (requires a sweep fault): presence of
+  /// detection_us enables FaultConfig::propagation with that detection
+  /// timeout; flood_hop_us overrides the per-hop flood processing delay.
+  std::optional<double> detection_us;
+  std::optional<double> flood_hop_us;
+};
+
+/// Parameter-grid axis of a load sweep: crosses every series entry with
+/// each value of one UGAL knob — the "vary nI" / "vary c" panels of the
+/// adaptive benches (Fig. 8/10/12 shape). Expansion is series-major,
+/// grid-minor: for each series entry, one expanded series per grid value
+/// in spec order, with the value substituted for {grid} in the label
+/// ("nI=4", "c=0.25").
+struct CampaignGrid {
+  bool is_ni = true;           ///< grid over `ni` (else over `c`)
+  std::vector<double> values;  ///< integers >= 1 when is_ni, > 0 otherwise
 };
 
 enum class CampaignSweepKind {
@@ -111,6 +132,7 @@ struct CampaignSweep {
   int shift = 0;  ///< node shift for traffic == kShift
   std::vector<double> loads;
   std::optional<CampaignFault> fault;
+  std::optional<CampaignGrid> grid;
 
   // --- exchanges ---
   std::int64_t bytes_per_pair = 7680;

@@ -68,6 +68,17 @@ enum class EventType : std::uint8_t {
   /// never touches the RNG and is excluded from events_processed, so the
   /// always-on watchdog cannot perturb a healthy run.
   kWatchdog,
+  /// a = router, d = fault-schedule index (fault.propagation only): the
+  /// router's missed-credit timeout fires and it learns about an attached
+  /// fault, then originates a link-state flood. Control-plane event: runs
+  /// in serialized steps when sharded, exactly like kFault.
+  kFaultDetect,
+  /// a = router, d = fault-schedule index (fault.propagation only): a
+  /// flooded link-state update reaches the router. Operands b and c are
+  /// deliberately zero — duplicate deliveries of the same update at the
+  /// same time fold identically into the digest regardless of arrival
+  /// (seq) order, whatever neighbor sent them.
+  kFloodArrive,
 };
 
 struct Event {

@@ -52,6 +52,50 @@ std::vector<FaultEvent> make_link_burst(const Topology& topo, TimePs at, int cou
   return out;
 }
 
+void validate_fault_schedule(const Topology& topo, const std::vector<FaultEvent>& schedule,
+                             TimePs run_end, TimePs warmup_end) {
+  D2NET_REQUIRE(topo.finalized(), "topology must be finalized");
+  const int nr = topo.num_routers();
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    const FaultEvent& e = schedule[i];
+    const auto reject = [&](const std::string& why) {
+      throw ArgumentError("fault schedule entry #" + std::to_string(i) + " (" +
+                          to_string(e) + "): " + why);
+    };
+    if (e.time < 0) reject("negative time");
+    if (e.time > run_end) {
+      char when[128];
+      std::snprintf(when, sizeof when, "fires after the run ends at %.1fus and would silently never apply",
+                    to_us(run_end));
+      reject(when);
+    }
+    const bool link_event =
+        e.kind == FaultKind::kLinkDown || e.kind == FaultKind::kLinkUp;
+    if (e.a < 0 || e.a >= nr) reject("router id out of range");
+    if (link_event) {
+      if (e.b < 0 || e.b >= nr) reject("router id out of range");
+      if (e.a == e.b) reject("link endpoints are the same router");
+      bool adjacent = false;
+      for (const int n : topo.neighbors(e.a)) {
+        if (n == e.b) {
+          adjacent = true;
+          break;
+        }
+      }
+      if (!adjacent) reject("no such link in the topology");
+    }
+  }
+  if (!schedule.empty() && warmup_end > 0) {
+    bool any_measured = false;
+    for (const FaultEvent& e : schedule) any_measured |= e.time >= warmup_end;
+    if (!any_measured)
+      std::fprintf(stderr,
+                   "d2net: warning: the whole fault schedule fires before the "
+                   "warmup ends at %.1fus; the measured window sees no fault\n",
+                   to_us(warmup_end));
+  }
+}
+
 std::string to_string(const FaultEvent& e) {
   char buf[96];
   if (e.kind == FaultKind::kLinkDown || e.kind == FaultKind::kLinkUp) {

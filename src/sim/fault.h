@@ -67,8 +67,10 @@ enum class FaultRecovery : std::uint8_t {
 const char* to_string(FaultRecovery r);
 
 struct FaultConfig {
-  /// Executed in (time, list-order) order; events whose time exceeds the
-  /// run length simply never fire. Empty = layer fully inert.
+  /// Executed in (time, list-order) order. Every entry is validated when a
+  /// run starts: an entry timed after the run end or naming an out-of-range
+  /// or non-adjacent link/router is an ArgumentError locating the entry
+  /// (they used to vanish silently). Empty = layer fully inert.
   std::vector<FaultEvent> schedule;
 
   FaultRecovery recovery = FaultRecovery::kSalvage;
@@ -98,7 +100,33 @@ struct FaultConfig {
   /// and-recovery curve of bench_ablation_transient_faults.
   TimePs recovery_sample = 0;
 
+  /// Modeled control plane (docs/resilience.md, "Detection and
+  /// propagation"). Off (default): oracle faults — every router and the
+  /// shared routing table learn about a fault the instant it happens,
+  /// exactly the pre-propagation behavior, bit-identical by test. On: a
+  /// fault is physical first and known later — each attached router
+  /// detects it only after detection_delay (missed-credit heuristic), then
+  /// floods a link-state update hop-by-hop over surviving wires, so
+  /// routing state is transiently inconsistent across the network.
+  bool propagation = false;
+
+  /// How long an attached router takes to notice a dead (or restored)
+  /// link: the modeled missed-credit timeout (propagation only).
+  TimePs detection_delay = us(1);
+
+  /// Per-hop processing delay of a flooded link-state update, added on top
+  /// of the wire latency (propagation only).
+  TimePs flood_process = ns(100);
+
+  /// Per-packet budget of local-view detours while tables disagree: a
+  /// packet whose salvage paths all cross links the router believes dead
+  /// may be misrouted to a believed-live neighbor at most this many times
+  /// before falling back to drop/retry. The hop_limit above acts as the
+  /// TTL-style loop guard on top (propagation only).
+  int misroute_limit = 4;
+
   bool enabled() const { return !schedule.empty(); }
+  bool propagation_enabled() const { return propagation && enabled(); }
 };
 
 /// State captured when the watchdog declares a run wedged.
@@ -108,6 +136,29 @@ struct WatchdogSnapshot {
   std::int64_t nic_backlog = 0;  ///< generated-but-not-injected packets
   int stalled_heads = 0;         ///< registered VOQ heads that cannot be granted
   int zero_credit_vcs = 0;       ///< (network out-port, VC) pairs without packet credit
+};
+
+/// Control-plane convergence accounting (FaultConfig::propagation only; all
+/// zero otherwise, and the JSON/metrics block is omitted). Latencies are
+/// measured from the physical fault time. "Consistency" for one update means
+/// every router alive at the fault instant has learned it; means are
+/// computed at serialization time from the sums kept here.
+struct ConvergenceStats {
+  std::int64_t updates = 0;       ///< link-state updates originated
+  std::int64_t converged = 0;     ///< updates every eligible router learned
+  std::int64_t detections = 0;    ///< local detections (missed-credit timeouts)
+  std::int64_t flood_messages = 0;  ///< link-state messages put on the wire
+  std::int64_t routers_reached = 0;  ///< sum over updates of flood span
+  std::int64_t misroutes = 0;     ///< local-view detours taken on stale tables
+  std::int64_t budget_drops = 0;  ///< packets that exhausted misroute_limit
+  TimePs detection_latency_sum = 0;  ///< over `detections`
+  TimePs detection_latency_max = 0;
+  /// Per-(router, update) lag between the physical fault and the router
+  /// learning it — the table-epoch lag; summed over `routers_reached`.
+  TimePs epoch_lag_sum = 0;
+  TimePs epoch_lag_max = 0;
+  TimePs consistency_time_sum = 0;  ///< over `converged`
+  TimePs consistency_time_max = 0;
 };
 
 /// Per-run fault accounting, attached by value to OpenLoopResult and
@@ -131,7 +182,19 @@ struct FaultStats {
   /// Delivered bytes per recovery_sample bucket (empty when sampling off).
   std::vector<std::int64_t> delivered_bytes_buckets;
   TimePs bucket_width = 0;
+
+  ConvergenceStats convergence;  ///< propagation runs only, zero otherwise
 };
+
+/// Validates every schedule entry against the topology and the run window:
+/// ids must be in range, link endpoints adjacent, and times within
+/// [0, run_end] (run_until executes events at exactly run_end, so only
+/// strictly-later times can never fire). Violations throw ArgumentError
+/// naming the entry index and its rendering. Additionally warns once on
+/// stderr when a non-empty schedule fires entirely before `warmup_end` —
+/// legal, but the measured window then sees no fault at all.
+void validate_fault_schedule(const Topology& topo, const std::vector<FaultEvent>& schedule,
+                             TimePs run_end, TimePs warmup_end);
 
 /// Random fault burst: `count` distinct router-to-router links of `topo` go
 /// down at `at`; when `restore_after` > 0 each comes back up at

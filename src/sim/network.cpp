@@ -91,6 +91,11 @@ inline std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t stream) {
 }
 
 constexpr TimePs kNoEvent = std::numeric_limits<TimePs>::max();
+
+// Bounded shared-table resamples against the local fault view before a
+// salvage escalates to a local-greedy detour (propagation runs only). The
+// count is fixed so the router-local RNG draw sequence stays deterministic.
+constexpr int kSalvageSamples = 4;
 }  // namespace
 
 NetworkSim::NetworkSim(const Topology& topo, const SimConfig& cfg, int num_vcs)
@@ -191,6 +196,7 @@ NetworkSim::NetworkSim(const Topology& topo, const SimConfig& cfg, int num_vcs)
     nic.credits_pending.resize(num_vcs_);
   }
   router_dead_.assign(routers_.size(), 0);
+  table_router_dead_.assign(routers_.size(), 0);
 
   // --- shard assignment (fixed for the life of the instance) ---
   // The okey packing (event_queue.h) gives same-time events a total order
@@ -213,6 +219,12 @@ NetworkSim::NetworkSim(const Topology& topo, const SimConfig& cfg, int num_vcs)
     }
     D2NET_REQUIRE(cfg_.fault.schedule.size() < (1u << 22),
                   "sharded okey packing requires fault schedule indices < 2^22");
+    if (cfg_.fault.propagation_enabled()) {
+      // kFaultDetect/kFloodArrive carry the schedule index in the 18-bit
+      // d-field (the a-field holds the learning router).
+      D2NET_REQUIRE(cfg_.fault.schedule.size() < (1u << 18),
+                    "fault propagation okey packing requires schedule indices < 2^18");
+    }
     // Balanced low-cut shard assignment from the multilevel partitioner.
     // Vertex weight approximates per-router event work: endpoint ports run
     // generation + injection + ejection on top of forwarding.
@@ -288,6 +300,8 @@ void NetworkSim::reset() {
       op.ready.clear();
       std::fill(op.credits.begin(), op.credits.end(), vc_buffer_bytes_);
       op.up = true;
+      op.phys_up = true;
+      op.table_up = true;
       op.epoch = 0;
       std::fill(op.credits_pending.begin(), op.credits_pending.end(), std::int64_t{0});
     }
@@ -301,6 +315,7 @@ void NetworkSim::reset() {
     std::fill(nic.credits_pending.begin(), nic.credits_pending.end(), std::int64_t{0});
   }
   std::fill(router_dead_.begin(), router_dead_.end(), std::uint8_t{0});
+  std::fill(table_router_dead_.begin(), table_router_dead_.end(), std::uint8_t{0});
   fstats_ = FaultStats{};
   wedged_ = false;
   timed_out_ = false;
@@ -322,6 +337,8 @@ void NetworkSim::reset() {
     ln.retried = 0;
     ln.lost = 0;
     ln.reroutes = 0;
+    ln.misroutes = 0;
+    ln.budget_drops = 0;
     ln.delivered_buckets.clear();
     ln.m_grants = 0;
     ln.m_credit_skips = 0;
@@ -474,6 +491,7 @@ bool NetworkSim::start_injection(Lane& ln, int node, int dst, int size, TimePs g
   pkt.hop = 0;
   pkt.msg_id = msg_id;
   pkt.retries = 0;
+  pkt.misroutes = 0;
   pkt.link_epoch = 0;
   // Pool-independent identity, assigned once per successful injection:
   // ordering keys and the digest use it instead of the pool slot.
@@ -539,8 +557,11 @@ void NetworkSim::handle_arrive_router(Lane& ln, int pkt_id, int router, int in_p
     const InPort& ipc = rs.in_ports[in_port];
     bool destroyed = router_dead_[router] != 0;
     if (!destroyed && !ipc.from_node) {
+      // Destruction is *physical*: with propagation a router may grant onto
+      // a wire it still believes up — the packet dies here, at arrival,
+      // where the cut (phys_up / epoch) is authoritative.
       const OutPort& sender = routers_[ipc.peer_router].out_ports[ipc.peer_out_port];
-      destroyed = !sender.up || router_dead_[ipc.peer_router] != 0 ||
+      destroyed = !sender.phys_up || router_dead_[ipc.peer_router] != 0 ||
                   ln.pool[pkt_id].link_epoch != sender.epoch;
     }
     if (destroyed) {
@@ -556,7 +577,7 @@ void NetworkSim::handle_arrive_router(Lane& ln, int pkt_id, int router, int in_p
     // Arrived intact but the planned next link is gone: salvage onto the
     // rebuilt table, or free the buffer (credit upstream) and drop/retry.
     Packet& pkt = ln.pool[pkt_id];
-    if (salvage_route(pkt, router)) {
+    if (salvage_route(ln, pkt, router)) {
       ++ln.reroutes;
       out_idx = out_port_for_packet(router, pkt);
     } else {
@@ -780,10 +801,20 @@ void NetworkSim::dispatch(Lane& ln, const Event& e) {
     case EventType::kFault:
       // Serial path only; sharded runs execute kFault on the coordinator
       // (serialized_step), never through a lane dispatch.
-      apply_fault(cfg_.fault.schedule[static_cast<std::size_t>(e.a)], e.time);
+      apply_fault(e.a, e.time);
       // Fault application rewires credits and drains VOQs wholesale — the
       // exact transitions the paranoid audit exists to police.
       if (paranoid_) self_audit("apply_fault");
+      break;
+    case EventType::kFaultDetect:
+      // Control plane (serial path; sharded runs execute these on the
+      // coordinator like kFault): the router's missed-credit timeout.
+      handle_fault_detect(e.a, e.d, e.time);
+      if (paranoid_) self_audit("fault_detect");
+      break;
+    case EventType::kFloodArrive:
+      handle_flood_arrive(e.a, e.d, e.time);
+      if (paranoid_) self_audit("flood_arrive");
       break;
     case EventType::kRetryInject:
       handle_retry(ln, e.a, e.time);
@@ -922,10 +953,25 @@ bool NetworkSim::out_port_dead(int router, int out_idx) const {
   if (router_dead_[router]) return true;
   const OutPort& op = routers_[router].out_ports[out_idx];
   if (op.to_node) return false;
-  return !op.up || router_dead_[op.peer_router] != 0;
+  if (!op.up) return true;
+  // Oracle mode may consult the peer's physical state directly; with
+  // propagation the owning router acts only on its *believed* view — a
+  // neighbor's death is unknown here until detected or flooded, and packets
+  // granted toward it meanwhile die physically on arrival.
+  return !prop_enabled_ && router_dead_[op.peer_router] != 0;
 }
 
 bool NetworkSim::link_admitted(int a, int b) const {
+  // The shared table's incremental invalidation is only sound when its
+  // filter changes one element per update_link call. Oracle mode satisfies
+  // that by refreshing inside apply_fault; propagation refreshes at each
+  // update's *convergence*, so the filter must be the converged state the
+  // table has been walked through (table_up / table_router_dead_), not the
+  // believed `up` flags, which run ahead of the refresh sequence.
+  if (prop_enabled_) {
+    if (table_router_dead_[a] || table_router_dead_[b]) return false;
+    return routers_[a].out_ports[out_port_toward(a, b)].table_up;
+  }
   if (router_dead_[a] || router_dead_[b]) return false;
   return routers_[a].out_ports[out_port_toward(a, b)].up;
 }
@@ -942,7 +988,7 @@ void NetworkSim::refresh_fault_table(int u, int v) {
       std::max(fstats_.unreachable_pairs, fault_table_->unreachable_pairs());
 }
 
-bool NetworkSim::salvage_route(Packet& pkt, int router) {
+bool NetworkSim::salvage_route(Lane& ln, Packet& pkt, int router) {
   if (cfg_.fault.recovery != FaultRecovery::kSalvage || fault_table_ == nullptr) {
     return false;
   }
@@ -957,16 +1003,81 @@ bool NetworkSim::salvage_route(Packet& pkt, int router) {
   Route& route = pkt.route;
   D2NET_ASSERT(route.routers[static_cast<std::size_t>(pkt.hop)] == router,
                "salvage at a router the packet does not occupy");
-  route.routers.resize(static_cast<std::size_t>(pkt.hop) + 1);
-  fault_table_->sample_path_append(router, dst_router, router_rng_[router], route.routers);
-  if (route.intermediate_pos > pkt.hop) route.intermediate_pos = pkt.hop;
-  const int hops = route.hops();
-  route.vcs.resize(static_cast<std::size_t>(hops));
-  for (int i = pkt.hop; i < hops; ++i) {
-    route.vcs[static_cast<std::size_t>(i)] =
-        static_cast<std::uint8_t>(std::min(i, num_vcs_ - 1));
+  const auto finish_tail = [&] {
+    if (route.intermediate_pos > pkt.hop) route.intermediate_pos = pkt.hop;
+    const int hops = route.hops();
+    route.vcs.resize(static_cast<std::size_t>(hops));
+    for (int i = pkt.hop; i < hops; ++i) {
+      route.vcs[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(std::min(i, num_vcs_ - 1));
+    }
+  };
+  if (!prop_enabled_) {
+    route.routers.resize(static_cast<std::size_t>(pkt.hop) + 1);
+    fault_table_->sample_path_append(router, dst_router, router_rng_[router],
+                                     route.routers);
+    finish_tail();
+    return true;
+  }
+  // Propagation: the shared table only reflects *converged* updates, so a
+  // sampled path may cross links this router already believes dead.
+  // Escalate — resample a bounded number of times against the local view,
+  // then fall back to a local-greedy detour on the misroute budget.
+  for (int attempt = 0; attempt < kSalvageSamples; ++attempt) {
+    route.routers.resize(static_cast<std::size_t>(pkt.hop) + 1);
+    fault_table_->sample_path_append(router, dst_router, router_rng_[router],
+                                     route.routers);
+    if (route_believed_alive(pkt, router, pkt.hop)) {
+      finish_tail();
+      return true;
+    }
+  }
+  if (misroute_detour(pkt, router)) {
+    finish_tail();
+    ++ln.misroutes;
+    return true;
+  }
+  if (pkt.misroutes >= cfg_.fault.misroute_limit) ++ln.budget_drops;
+  return false;
+}
+
+bool NetworkSim::route_believed_alive(const Packet& pkt, int router, int from_hop) const {
+  const auto& hops = pkt.route.routers;
+  for (std::size_t i = static_cast<std::size_t>(from_hop); i + 1 < hops.size(); ++i) {
+    if (!view_.believes_link_alive(router, hops[i], hops[i + 1])) return false;
   }
   return true;
+}
+
+bool NetworkSim::misroute_detour(Packet& pkt, int router) {
+  if (pkt.misroutes >= cfg_.fault.misroute_limit) return false;
+  const auto& nbrs = topo_.neighbors(router);
+  const int deg = static_cast<int>(nbrs.size());
+  if (deg == 0) return false;
+  const int dst_router = topo_.router_of_node(pkt.dst_node);
+  // Round-robin from a random offset over believed-live neighbors; the RNG
+  // stream is router-local, so shard count cannot shift the pick.
+  const int start = std::min(
+      deg - 1, static_cast<int>(router_rng_[router].uniform() * static_cast<double>(deg)));
+  for (int k = 0; k < deg; ++k) {
+    const int i = (start + k) % deg;
+    const int m = nbrs[static_cast<std::size_t>(i)];
+    const OutPort& op = routers_[router].out_ports[static_cast<std::size_t>(i)];
+    if (!op.up) continue;  // believed dead locally
+    if (!view_.believes_router_alive(router, m)) continue;
+    const int dist = m == dst_router ? 0 : fault_table_->distance(m, dst_router);
+    if (dist < 0) continue;
+    if (pkt.hop + 1 + dist > hop_limit_) continue;  // TTL-style loop guard
+    Route& route = pkt.route;
+    route.routers.resize(static_cast<std::size_t>(pkt.hop) + 1);
+    route.routers.push_back(m);
+    if (m != dst_router) {
+      fault_table_->sample_path_append(m, dst_router, router_rng_[router], route.routers);
+    }
+    ++pkt.misroutes;
+    return true;
+  }
+  return false;
 }
 
 void NetworkSim::return_input_credit(Lane& ln, int router, int in_port, int vc, int bytes,
@@ -983,8 +1094,9 @@ void NetworkSim::return_input_credit(Lane& ln, int router, int in_port, int vc, 
   } else {
     if (faults_enabled_) {
       const OutPort& peer = routers_[ip.peer_router].out_ports[ip.peer_out_port];
-      // A cut reverse wire carries no credit; the link-up resync recreates it.
-      if (!peer.up || router_dead_[ip.peer_router] || router_dead_[router]) return;
+      // A *physically* cut reverse wire carries no credit (whatever anyone
+      // believes); the link-up resync recreates it.
+      if (!peer.phys_up || router_dead_[ip.peer_router] || router_dead_[router]) return;
     }
     // The pending += bookkeeping lives inside the helper (it must be
     // deferred when the peer port belongs to another lane).
@@ -1047,6 +1159,7 @@ void NetworkSim::handle_retry(Lane& ln, int pkt_id, TimePs now) {
   pkt.hop = 0;
   pkt.inject_time = now;
   pkt.link_epoch = 0;
+  pkt.misroutes = 0;  // the detour budget is per delivery attempt
   nic.credits[vc0] -= pkt.size;
   const TimePs ser = static_cast<TimePs>(pkt.size) * cfg_.ps_per_byte;
   nic.free_at = now + ser;
@@ -1069,7 +1182,7 @@ void NetworkSim::drain_out_port(int router, int out_idx, TimePs now, bool credit
       while (cell.head >= 0) {
         const int pkt_id = voq_pop(ln.pool, cell);
         Packet& pkt = ln.pool[pkt_id];
-        if (allow_salvage && salvage_route(pkt, router)) {
+        if (allow_salvage && salvage_route(ln, pkt, router)) {
           // The packet stays in its input buffer, re-queued for the out
           // port of its fresh route after a re-decision latency.
           const int new_out = out_port_for_packet(router, pkt);
@@ -1126,7 +1239,132 @@ void NetworkSim::resync_nic_credits(int node) {
   }
 }
 
-void NetworkSim::apply_fault(const FaultEvent& f, TimePs now) {
+void NetworkSim::schedule_detections(int idx, TimePs now) {
+  // Each physically-attached live router arms a missed-credit timeout: it
+  // notices the change `detection_delay` after the wire actually flips.
+  // Control-plane events ride the serialized queue, so there is no lookahead
+  // constraint on the delay.
+  const FaultEvent& f = cfg_.fault.schedule[static_cast<std::size_t>(idx)];
+  const TimePs t = now + cfg_.fault.detection_delay;
+  auto detect = [&](int r) {
+    if (router_dead_[r]) return;
+    control_queue().push(t, EventType::kFaultDetect, r, 0, 0, idx);
+  };
+  switch (f.kind) {
+    case FaultKind::kLinkDown:
+    case FaultKind::kLinkUp:
+      detect(f.a);
+      detect(f.b);
+      break;
+    case FaultKind::kRouterDown:
+      for (int n : topo_.neighbors(f.a)) detect(n);
+      break;
+    case FaultKind::kRouterUp:
+      // The revived router knows about itself; neighbors see credits resume.
+      detect(f.a);
+      for (int n : topo_.neighbors(f.a)) detect(n);
+      break;
+  }
+}
+
+void NetworkSim::handle_fault_detect(int router, int idx, TimePs now) {
+  if (router_dead_[router]) return;  // died between the fault and the timeout
+  learn_update(router, idx, /*detection=*/true, now);
+}
+
+void NetworkSim::handle_flood_arrive(int router, int idx, TimePs now) {
+  if (router_dead_[router]) return;
+  learn_update(router, idx, /*detection=*/false, now);
+}
+
+void NetworkSim::learn_update(int router, int idx, bool detection, TimePs now) {
+  if (!view_.learn(router, idx)) return;  // duplicate flood / already detected
+  ++progress_;  // the control plane moving counts as forward progress
+  ConvergenceStats& cv = fstats_.convergence;
+  const LinkStateUpdate& u = view_.update(idx);
+  const TimePs lag = now - u.phys_time;
+  ++cv.routers_reached;
+  cv.epoch_lag_sum += lag;
+  cv.epoch_lag_max = std::max(cv.epoch_lag_max, lag);
+  if (detection) {
+    ++cv.detections;
+    cv.detection_latency_sum += lag;
+    cv.detection_latency_max = std::max(cv.detection_latency_max, lag);
+  }
+  apply_believed_ports(router, now);
+  if (u.v < 0 && u.alive && u.u == router) {
+    // A revived router learning its own up-update brings its endpoints back
+    // online (the oracle path does this inside apply_fault).
+    for (int j = 0; j < topo_.endpoints_of(router); ++j) {
+      const int node = topo_.node_base(router) + j;
+      resync_nic_credits(node);
+      try_inject(lane_of_node(node), node, now);
+    }
+  }
+  // Standard link-state flooding: only the first learning re-floods, so each
+  // update crosses every live wire at most twice.
+  const RouterState& rs = routers_[router];
+  for (int i = 0; i < static_cast<int>(topo_.neighbors(router).size()); ++i) {
+    const OutPort& op = rs.out_ports[i];
+    if (!op.phys_up || router_dead_[op.peer_router]) continue;
+    ++cv.flood_messages;
+    control_queue().push(now + cfg_.link_latency + cfg_.fault.flood_process,
+                         EventType::kFloodArrive, op.peer_router, 0, 0, idx);
+  }
+  if (view_.converged(idx)) {
+    ++cv.converged;
+    cv.consistency_time_sum += lag;
+    cv.consistency_time_max = std::max(cv.consistency_time_max, lag);
+    // Every live router now agrees with the physical truth about this
+    // update, so the shared routing table may fold it in: salvage sampling
+    // stops proposing the dead element without consulting local views. The
+    // converged-state flags advance in lock-step with the refresh sequence
+    // (see link_admitted).
+    if (u.v < 0) {
+      table_router_dead_[u.u] = u.alive ? 0 : 1;
+      refresh_fault_table(-1, -1);
+    } else {
+      routers_[u.u].out_ports[out_port_toward(u.u, u.v)].table_up = u.alive;
+      routers_[u.v].out_ports[out_port_toward(u.v, u.u)].table_up = u.alive;
+      refresh_fault_table(u.u, u.v);
+    }
+  }
+}
+
+void NetworkSim::apply_believed_ports(int router, TimePs now) {
+  // Reconciles the router's granting state (`up`) with what it now
+  // believes, mirroring the oracle apply_fault transitions one router at a
+  // time: newly-believed-dead ports drain (salvage with the *local* view),
+  // newly-believed-alive ports resync credits and resume granting.
+  RouterState& rs = routers_[router];
+  const auto& nbrs = topo_.neighbors(router);
+  for (int i = 0; i < static_cast<int>(nbrs.size()); ++i) {
+    const int peer = nbrs[i];
+    OutPort& op = rs.out_ports[i];
+    const bool want =
+        view_.believes_link_alive(router, router, peer) && view_.believes_router_alive(router, peer);
+    if (op.up == want) continue;
+    op.up = want;
+    if (!want) {
+      drain_out_port(router, i, now, /*credit_returns=*/true, /*allow_salvage=*/true);
+    } else if (op.phys_up && !router_dead_[router] && !router_dead_[peer]) {
+      resync_link_credits(router, peer);
+      try_grant(lane_of_router(router), router, i, now);
+    }
+  }
+}
+
+void NetworkSim::apply_fault(int idx, TimePs now) {
+  const FaultEvent& f = cfg_.fault.schedule[static_cast<std::size_t>(idx)];
+  // Live routers at the instant the fault physically applies; an update is
+  // converged once they all learned it (dead routers can't participate).
+  auto live_routers = [&]() {
+    int live = 0;
+    for (int r = 0; r < topo_.num_routers(); ++r) {
+      if (!router_dead_[r]) ++live;
+    }
+    return live;
+  };
   switch (f.kind) {
     case FaultKind::kLinkDown: {
       D2NET_REQUIRE(f.a >= 0 && f.a < topo_.num_routers() && f.b >= 0 &&
@@ -1136,15 +1374,25 @@ void NetworkSim::apply_fault(const FaultEvent& f, TimePs now) {
       const int pv = out_port_toward(f.b, f.a);
       OutPort& uv = routers_[f.a].out_ports[pu];
       OutPort& vu = routers_[f.b].out_ports[pv];
-      if (!uv.up) return;  // idempotent
+      if (!uv.phys_up) return;  // idempotent
       ++fstats_.faults_applied;
       ++progress_;
-      uv.up = vu.up = false;
+      uv.phys_up = vu.phys_up = false;
       ++uv.epoch;  // destroys both directions' in-flight traffic
       ++vu.epoch;
-      refresh_fault_table(f.a, f.b);  // before draining, so salvage avoids the cut
-      drain_out_port(f.a, pu, now, /*credit_returns=*/true, /*allow_salvage=*/true);
-      drain_out_port(f.b, pv, now, /*credit_returns=*/true, /*allow_salvage=*/true);
+      if (prop_enabled_) {
+        // Routing state is untouched here: the endpoints keep granting onto
+        // the dead wire (grants die at arrival via the epoch/phys check)
+        // until their detection timeouts fire.
+        view_.register_update(idx, f.a, f.b, /*alive=*/false, now, live_routers());
+        ++fstats_.convergence.updates;
+        schedule_detections(idx, now);
+      } else {
+        uv.up = vu.up = false;
+        refresh_fault_table(f.a, f.b);  // before draining, so salvage avoids the cut
+        drain_out_port(f.a, pu, now, /*credit_returns=*/true, /*allow_salvage=*/true);
+        drain_out_port(f.b, pv, now, /*credit_returns=*/true, /*allow_salvage=*/true);
+      }
       break;
     }
     case FaultKind::kLinkUp: {
@@ -1155,17 +1403,30 @@ void NetworkSim::apply_fault(const FaultEvent& f, TimePs now) {
       const int pv = out_port_toward(f.b, f.a);
       OutPort& uv = routers_[f.a].out_ports[pu];
       OutPort& vu = routers_[f.b].out_ports[pv];
-      if (uv.up) return;
+      if (uv.phys_up) return;
       ++fstats_.faults_applied;
       ++progress_;
-      uv.up = vu.up = true;
-      if (!router_dead_[f.a] && !router_dead_[f.b]) {
-        resync_link_credits(f.a, f.b);
-        resync_link_credits(f.b, f.a);
+      uv.phys_up = vu.phys_up = true;
+      if (prop_enabled_) {
+        // A grant launched during the dead window must not survive into the
+        // restored wire; the epoch bump kills it at arrival. Safe because
+        // the epoch is not a digest operand and the oracle path never runs
+        // this branch.
+        ++uv.epoch;
+        ++vu.epoch;
+        view_.register_update(idx, f.a, f.b, /*alive=*/true, now, live_routers());
+        ++fstats_.convergence.updates;
+        schedule_detections(idx, now);
+      } else {
+        uv.up = vu.up = true;
+        if (!router_dead_[f.a] && !router_dead_[f.b]) {
+          resync_link_credits(f.a, f.b);
+          resync_link_credits(f.b, f.a);
+        }
+        refresh_fault_table(f.a, f.b);
+        try_grant(lane_of_router(f.a), f.a, pu, now);
+        try_grant(lane_of_router(f.b), f.b, pv, now);
       }
-      refresh_fault_table(f.a, f.b);
-      try_grant(lane_of_router(f.a), f.a, pu, now);
-      try_grant(lane_of_router(f.b), f.b, pv, now);
       break;
     }
     case FaultKind::kRouterDown: {
@@ -1181,16 +1442,25 @@ void NetworkSim::apply_fault(const FaultEvent& f, TimePs now) {
         ++rs.out_ports[i].epoch;  // wires die in both directions
         ++routers_[nbrs[i]].out_ports[out_port_toward(nbrs[i], r)].epoch;
       }
-      refresh_fault_table(-1, -1);
+      if (!prop_enabled_) refresh_fault_table(-1, -1);
       // Everything queued inside the dead router dies with it; no credits
       // move (the upstream side resyncs when the router comes back).
       for (int o = 0; o < static_cast<int>(rs.out_ports.size()); ++o) {
         drain_out_port(r, o, now, /*credit_returns=*/false, /*allow_salvage=*/false);
       }
-      // Neighbors salvage or drop what they had queued toward r.
-      for (int n : nbrs) {
-        drain_out_port(n, out_port_toward(n, r), now, /*credit_returns=*/true,
-                       /*allow_salvage=*/true);
+      if (prop_enabled_) {
+        // Neighbors keep feeding the silent router until their detection
+        // timeouts fire; those packets die at arrival like any other
+        // physically-destroyed traffic.
+        view_.register_update(idx, r, -1, /*alive=*/false, now, live_routers());
+        ++fstats_.convergence.updates;
+        schedule_detections(idx, now);
+      } else {
+        // Neighbors salvage or drop what they had queued toward r.
+        for (int n : nbrs) {
+          drain_out_port(n, out_port_toward(n, r), now, /*credit_returns=*/true,
+                         /*allow_salvage=*/true);
+        }
       }
       break;
     }
@@ -1201,20 +1471,33 @@ void NetworkSim::apply_fault(const FaultEvent& f, TimePs now) {
       ++fstats_.faults_applied;
       ++progress_;
       router_dead_[r] = 0;
-      refresh_fault_table(-1, -1);
       const auto& nbrs = topo_.neighbors(r);
-      for (int i = 0; i < static_cast<int>(nbrs.size()); ++i) {
-        const int n = nbrs[i];
-        if (!routers_[r].out_ports[i].up || router_dead_[n]) continue;
-        resync_link_credits(r, n);
-        resync_link_credits(n, r);
-        try_grant(lane_of_router(r), r, i, now);
-        try_grant(lane_of_router(n), n, out_port_toward(n, r), now);
-      }
-      for (int j = 0; j < topo_.endpoints_of(r); ++j) {
-        const int node = topo_.node_base(r) + j;
-        resync_nic_credits(node);
-        try_inject(lane_of_node(node), node, now);
+      if (prop_enabled_) {
+        // Traffic launched toward the dead router during its outage must not
+        // arrive after revival; bump the incident epochs in both directions.
+        RouterState& rs = routers_[r];
+        for (int i = 0; i < static_cast<int>(nbrs.size()); ++i) {
+          ++rs.out_ports[i].epoch;
+          ++routers_[nbrs[i]].out_ports[out_port_toward(nbrs[i], r)].epoch;
+        }
+        view_.register_update(idx, r, -1, /*alive=*/true, now, live_routers());
+        ++fstats_.convergence.updates;
+        schedule_detections(idx, now);
+      } else {
+        refresh_fault_table(-1, -1);
+        for (int i = 0; i < static_cast<int>(nbrs.size()); ++i) {
+          const int n = nbrs[i];
+          if (!routers_[r].out_ports[i].up || router_dead_[n]) continue;
+          resync_link_credits(r, n);
+          resync_link_credits(n, r);
+          try_grant(lane_of_router(r), r, i, now);
+          try_grant(lane_of_router(n), n, out_port_toward(n, r), now);
+        }
+        for (int j = 0; j < topo_.endpoints_of(r); ++j) {
+          const int node = topo_.node_base(r) + j;
+          resync_nic_credits(node);
+          try_inject(lane_of_node(node), node, now);
+        }
       }
       break;
     }
@@ -1275,6 +1558,7 @@ void NetworkSim::handle_watchdog(TimePs now) {
 
 void NetworkSim::setup_faults() {
   faults_enabled_ = cfg_.fault.enabled();
+  prop_enabled_ = cfg_.fault.propagation_enabled();
   fstats_.enabled = faults_enabled_;
   fstats_.bucket_width = cfg_.fault.recovery_sample;
   hop_limit_ = cfg_.fault.hop_limit;
@@ -1290,11 +1574,25 @@ void NetworkSim::setup_faults() {
     fault_table_->rebuild(topo_, nullptr);
   }
   if (faults_enabled_) {
+    // Entries that can never apply (after run end, unknown ids, non-adjacent
+    // links) used to vanish silently; reject them up front with a located
+    // error instead.
+    validate_fault_schedule(topo_, cfg_.fault.schedule, window_end_, window_start_);
     for (std::size_t i = 0; i < cfg_.fault.schedule.size(); ++i) {
-      D2NET_REQUIRE(cfg_.fault.schedule[i].time >= 0, "fault times must be non-negative");
       control_queue().push(cfg_.fault.schedule[i].time, EventType::kFault,
                            static_cast<std::int32_t>(i));
     }
+  }
+  if (prop_enabled_) {
+    D2NET_REQUIRE(cfg_.fault.detection_delay >= 0,
+                  "fault.detection_delay must be non-negative");
+    D2NET_REQUIRE(cfg_.fault.flood_process >= 0,
+                  "fault.flood_process must be non-negative");
+    D2NET_REQUIRE(cfg_.fault.misroute_limit >= 0,
+                  "fault.misroute_limit must be non-negative");
+    view_.reset(topo_.num_routers(), static_cast<int>(cfg_.fault.schedule.size()));
+  } else {
+    view_.clear();
   }
   if (cfg_.fault.watchdog_interval > 0) {
     control_queue().push(cfg_.fault.watchdog_interval, EventType::kWatchdog);
@@ -1399,8 +1697,17 @@ void NetworkSim::setup_run(bool exchange) {
     // send_retry targets the source node's lane with delay >= the backoff;
     // the conservative window is only safe if that delay covers the
     // lookahead.
-    D2NET_REQUIRE(cfg_.fault.retry_backoff >= cfg_.link_latency,
-                  "sharded fault retries require retry_backoff >= link_latency");
+    if (cfg_.fault.retry_backoff < cfg_.link_latency) {
+      char msg[512];
+      std::snprintf(msg, sizeof(msg),
+                    "fault.retry_backoff=%.3fus is below link_latency=%.3fus: sharded "
+                    "runs re-inject retries across shard boundaries, and the "
+                    "conservative time window is only safe when that delay covers one "
+                    "link latency of lookahead. Raise fault.retry_backoff to at least "
+                    "the link latency, or run with --shards=1.",
+                    to_us(cfg_.fault.retry_backoff), to_us(cfg_.link_latency));
+      throw ArgumentError(msg);
+    }
   }
 }
 
@@ -1423,8 +1730,8 @@ void NetworkSim::run_lane_window(Lane& ln, TimePs limit) {
 
 void NetworkSim::serialized_step(TimePs tc) {
   // Single-threaded execution of one control timestamp. Control events
-  // (kFault / kWatchdog / kMetricsSample) interleave with any lane events
-  // at exactly tc in (time, okey) order — a rescan per event, because fault
+  // (kFault / kFaultDetect / kFloodArrive / kWatchdog / kMetricsSample)
+  // interleave with any lane events at exactly tc in (time, okey) order — a rescan per event, because fault
   // application can spawn further same-time events. Cross-lane sends made
   // here push directly (barrier_phase_), keeping pending-credit state in
   // step for same-timestamp resyncs.
@@ -1465,13 +1772,28 @@ void NetworkSim::serialized_step(TimePs tc) {
         if (wedged_) break;
         continue;
       }
-      // kFault: digest-visible and counted, exactly like the serial path.
+      // Fault and control-plane events: digest-visible and counted,
+      // exactly like the serial path.
       if (digest_enabled_) {
         event_digest_ =
             fold_digest(event_digest_, e.time, e.okey, digest_w1(e), digest_w2(e));
       }
-      apply_fault(cfg_.fault.schedule[static_cast<std::size_t>(e.a)], e.time);
-      if (paranoid_) self_audit("apply_fault");
+      switch (e.type) {
+        case EventType::kFault:
+          apply_fault(e.a, e.time);
+          if (paranoid_) self_audit("apply_fault");
+          break;
+        case EventType::kFaultDetect:
+          handle_fault_detect(e.a, e.d, e.time);
+          if (paranoid_) self_audit("fault_detect");
+          break;
+        case EventType::kFloodArrive:
+          handle_flood_arrive(e.a, e.d, e.time);
+          if (paranoid_) self_audit("flood_arrive");
+          break;
+        default:
+          D2NET_ASSERT(false, "unexpected control event type");
+      }
       ++coord_events_;
     } else {
       Lane& ln = lanes_[static_cast<std::size_t>(src)];
@@ -1609,6 +1931,8 @@ void NetworkSim::collect_lanes() {
     fstats_.packets_retried += ln.retried;
     fstats_.packets_lost += ln.lost;
     fstats_.reroutes += ln.reroutes;
+    fstats_.convergence.misroutes += ln.misroutes;
+    fstats_.convergence.budget_drops += ln.budget_drops;
     if (!ln.delivered_buckets.empty()) {
       if (fstats_.delivered_bytes_buckets.size() < ln.delivered_buckets.size()) {
         fstats_.delivered_bytes_buckets.resize(ln.delivered_buckets.size(), 0);
@@ -1765,6 +2089,19 @@ std::shared_ptr<const SimMetrics> NetworkSim::build_metrics() {
       }
       out->ports.push_back(pi.m);
     }
+  }
+  if (prop_enabled_) {
+    // Control-plane convergence as first-class registry counters; written
+    // only at export so the metrics path cannot perturb the run. Guarded on
+    // propagation so disabled runs export the same registry as before.
+    const ConvergenceStats& cv = fstats_.convergence;
+    registry_->counter("fault_updates").add(cv.updates);
+    registry_->counter("fault_updates_converged").add(cv.converged);
+    registry_->counter("fault_detections").add(cv.detections);
+    registry_->counter("fault_flood_messages").add(cv.flood_messages);
+    registry_->counter("fault_routers_reached").add(cv.routers_reached);
+    registry_->counter("fault_misroutes").add(cv.misroutes);
+    registry_->counter("fault_misroute_budget_drops").add(cv.budget_drops);
   }
   out->registry = std::move(*registry_);
   // The cached handles point into the moved-from registry; reset()

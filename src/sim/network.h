@@ -40,6 +40,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/units.h"
+#include "routing/local_view.h"
 #include "routing/routing_algorithm.h"
 #include "sim/config.h"
 #include "sim/event_queue.h"
@@ -229,7 +230,18 @@ class NetworkSim final : public PortLoadProvider {
     /// eligible head requests this port.
     ReadyList ready;
     // Fault state (only read when the schedule is non-empty):
-    bool up = true;            ///< link-level liveness of this direction
+    /// *Believed* liveness of this direction — what the owning router acts
+    /// on when granting and salvaging. With oracle faults it always equals
+    /// phys_up; with FaultConfig::propagation it lags by the detection and
+    /// flood latency, which is exactly the modeled inconsistency window.
+    bool up = true;
+    /// *Physical* liveness of the wire: drives in-flight destruction and
+    /// arrival checks regardless of what any router believes.
+    bool phys_up = true;
+    /// Liveness the shared fault table currently reflects (propagation
+    /// runs only): advanced at each update's convergence, in lock-step
+    /// with the incremental table refresh (see link_admitted).
+    bool table_up = true;
     std::uint32_t epoch = 0;   ///< bumped per cut; mismatched packets died on the wire
     /// Per-VC bytes of credit currently in flight toward this port; lets a
     /// link-up resync recompute credits without double-counting returns
@@ -310,6 +322,8 @@ class NetworkSim final : public PortLoadProvider {
     std::int64_t retried = 0;
     std::int64_t lost = 0;
     std::int64_t reroutes = 0;
+    std::int64_t misroutes = 0;      ///< local-view detours (propagation)
+    std::int64_t budget_drops = 0;   ///< misroute budget exhaustions
     std::vector<std::int64_t> delivered_buckets;
     // metrics scalars (merged into the registry by build_metrics)
     std::int64_t m_grants = 0;
@@ -338,8 +352,9 @@ class NetworkSim final : public PortLoadProvider {
   Lane& lane_of_router(int r) { return lanes_[static_cast<std::size_t>(lane_index_of_router(r))]; }
   Lane& lane_of_node(int n) { return lanes_[static_cast<std::size_t>(lane_index_of_node(n))]; }
   /// Queue that carries the serialized control events (kFault, kWatchdog,
-  /// kMetricsSample): lane 0's queue for serial runs, the coordinator-side
-  /// control queue for sharded ones.
+  /// kMetricsSample, and the kFaultDetect/kFloodArrive control plane):
+  /// lane 0's queue for serial runs, the coordinator-side control queue for
+  /// sharded ones.
   EventQueue& control_queue() { return sharded_run_ ? control_ : lanes_[0].queue; }
 
   void try_inject(Lane& ln, int node, TimePs now);
@@ -393,7 +408,10 @@ class NetworkSim final : public PortLoadProvider {
   bool out_port_dead(int router, int out_idx) const;
   /// The link-aliveness predicate fed to MinimalTable rebuilds.
   bool link_admitted(int a, int b) const;
-  void apply_fault(const FaultEvent& f, TimePs now);
+  /// Applies schedule entry `idx` physically; with propagation it also
+  /// registers the link-state update and schedules the detections (all
+  /// believed-state changes then happen at detect/flood time).
+  void apply_fault(int idx, TimePs now);
   /// Refreshes the fault table after the link (u, v) changed (u < 0 = full
   /// rebuild, used by router events) and tracks peak disconnection.
   void refresh_fault_table(int u, int v);
@@ -411,8 +429,10 @@ class NetworkSim final : public PortLoadProvider {
   std::int64_t input_vc_bytes(const PacketPool& pool, const RouterState& rs, int in_port,
                               int vc) const;
   /// Rewrites pkt's route tail with a fresh path from `router`; false when
-  /// salvage is unavailable (no table / unreachable / hop limit).
-  bool salvage_route(Packet& pkt, int router);
+  /// salvage is unavailable (no table / unreachable / hop limit, or — with
+  /// propagation — every believed-live option is exhausted). `ln` carries
+  /// the misroute accounting (lane-local, merged at run end).
+  bool salvage_route(Lane& ln, Packet& pkt, int router);
   /// Returns the freed input-buffer credit upstream (skipped when the
   /// upstream side is dead; its credits resync on revival).
   void return_input_credit(Lane& ln, int router, int in_port, int vc, int bytes,
@@ -422,6 +442,37 @@ class NetworkSim final : public PortLoadProvider {
   void handle_retry(Lane& ln, int pkt_id, TimePs now);
   void handle_watchdog(TimePs now);
   bool outstanding_work() const;
+
+  // --- modeled control plane (FaultConfig::propagation; see
+  // docs/resilience.md). All of it runs on the control queue — serialized
+  // steps when sharded, the ordinary serial loop otherwise — so learning is
+  // single-threaded and bit-identical across shard counts.
+  /// kFaultDetect: `router`'s missed-credit timeout for schedule entry
+  /// `idx` fires; it learns locally and originates the flood.
+  void handle_fault_detect(int router, int idx, TimePs now);
+  /// kFloodArrive: the flooded update for entry `idx` reaches `router`
+  /// (duplicates are digested no-ops).
+  void handle_flood_arrive(int router, int idx, TimePs now);
+  /// Shared learning path: absorb update `idx` into `router`'s local view,
+  /// re-derive its believed port states, re-flood to physical neighbors,
+  /// and advance the convergence tracker (shared-table refresh happens at
+  /// convergence, not before).
+  void learn_update(int router, int idx, bool detection, TimePs now);
+  /// Re-derives `router`'s believed out-port `up` flags from its local
+  /// view: newly-believed-dead ports drain (local-view salvage), newly-
+  /// believed-live ones resync credits and resume granting.
+  void apply_believed_ports(int router, TimePs now);
+  /// Schedules the kFaultDetect events of schedule entry `idx` for every
+  /// router that locally observes it (link endpoints / the neighborhood of
+  /// a downed or revived router).
+  void schedule_detections(int idx, TimePs now);
+  /// True when `router`'s local view believes every remaining hop of
+  /// `pkt`'s route (from `from_hop` on) is alive.
+  bool route_believed_alive(const Packet& pkt, int router, int from_hop) const;
+  /// Local-greedy detour: rewrites the route through a believed-live
+  /// neighbor, spending one unit of the packet's misroute budget. False
+  /// when the budget or every neighbor is exhausted.
+  bool misroute_detour(Packet& pkt, int router);
 
   /// Arms (or disarms) the cooperative wall-clock deadline for one run.
   void arm_deadline();
@@ -482,7 +533,7 @@ class NetworkSim final : public PortLoadProvider {
   bool barrier_phase_ = false;
   std::int64_t windows_ = 0;          ///< parallel windows executed
   TimePs window_width_ps_ = 0;        ///< summed window widths
-  std::int64_t coord_events_ = 0;     ///< kFault events executed by the coordinator
+  std::int64_t coord_events_ = 0;  ///< control events executed by the coordinator
 
   TimePs now_ = 0;
   std::int64_t events_processed_ = 0;  ///< merged at run end (collect_lanes)
@@ -507,8 +558,18 @@ class NetworkSim final : public PortLoadProvider {
   // fault / watchdog state (all counters; the hot path only ever tests
   // faults_enabled_ when the schedule is empty)
   bool faults_enabled_ = false;
+  /// FaultConfig::propagation_enabled() snapshot for the run: gates every
+  /// control-plane branch, so oracle runs stay bit-identical to pre-
+  /// propagation builds (enforced by tests/test_determinism_digest.cpp).
+  bool prop_enabled_ = false;
   MinimalTable* fault_table_ = nullptr;  ///< non-owning, see set_fault_table
   std::vector<std::uint8_t> router_dead_;
+  /// Router liveness the shared fault table reflects (propagation runs
+  /// only); the router-level counterpart of OutPort::table_up.
+  std::vector<std::uint8_t> table_router_dead_;
+  /// Per-router believed fault knowledge (propagation runs only; cleared —
+  /// and never consulted — otherwise).
+  LocalFaultView view_;
   FaultStats fstats_;
   int hop_limit_ = 0;  ///< effective per-run value (config 0 = auto)
   bool wedged_ = false;

@@ -27,6 +27,10 @@ struct Packet {
   int hop = 0;  ///< index of the router the packet currently occupies
   std::int64_t msg_id = -1;  ///< exchange-workload message id, -1 for synthetic
   int retries = 0;  ///< fault-retry attempts consumed (see FaultConfig)
+  /// Local-view detours consumed while routing tables were transiently
+  /// inconsistent (fault.propagation only, see FaultConfig::misroute_limit);
+  /// reset on injection and on every retry re-injection.
+  int misroutes = 0;
   /// Epoch of the sending out-port at grant time; a link fault bumps the
   /// port epoch, so a mismatch on arrival means the wire died under the
   /// packet and it must be destroyed (fault runs only).

@@ -248,6 +248,86 @@ TEST(CampaignSpec, ValidatesFaultAndSeriesKnobs) {
             std::string::npos);
 }
 
+TEST(CampaignSpec, ValidatesGridAxis) {
+  // grid is a load-sweep axis.
+  EXPECT_NE(parse_error(R"({"name": "t", "systems": [{"label": "S",
+      "topology": "sf:q=5"}], "sweeps": [{"title": "u", "kind": "exchange",
+      "grid": {"param": "ni", "values": [1]}, "series": [{"routing": "min"}]}]})")
+                .find("only valid for load_sweep sweeps"),
+            std::string::npos);
+  EXPECT_NE(parse_error(R"({"name": "t", "systems": [{"label": "S",
+      "topology": "sf:q=5"}], "sweeps": [{"title": "u", "loads": [0.5],
+      "grid": {"param": "speed", "values": [1]}, "series": [{"routing": "ugal"}]}]})")
+                .find("unknown grid param 'speed'"),
+            std::string::npos);
+  EXPECT_NE(parse_error(R"({"name": "t", "systems": [{"label": "S",
+      "topology": "sf:q=5"}], "sweeps": [{"title": "u", "loads": [0.5],
+      "grid": {"param": "ni", "values": []}, "series": [{"routing": "ugal"}]}]})")
+                .find("grid values must be non-empty"),
+            std::string::npos);
+  // ni values must be integers >= 1; c values numbers > 0.
+  EXPECT_NE(parse_error(R"({"name": "t", "systems": [{"label": "S",
+      "topology": "sf:q=5"}], "sweeps": [{"title": "u", "loads": [0.5],
+      "grid": {"param": "ni", "values": [2.5]}, "series": [{"routing": "ugal"}]}]})")
+                .find("expected an integer >= 1"),
+            std::string::npos);
+  EXPECT_NE(parse_error(R"({"name": "t", "systems": [{"label": "S",
+      "topology": "sf:q=5"}], "sweeps": [{"title": "u", "loads": [0.5],
+      "grid": {"param": "c", "values": [0.0]}, "series": [{"routing": "ugal"}]}]})")
+                .find("expected a number > 0"),
+            std::string::npos);
+  // A series cannot pin the knob the grid varies.
+  EXPECT_NE(parse_error(R"({"name": "t", "systems": [{"label": "S",
+      "topology": "sf:q=5"}], "sweeps": [{"title": "u", "loads": [0.5],
+      "grid": {"param": "ni", "values": [1, 4]},
+      "series": [{"routing": "ugal", "ni": 2}]}]})")
+                .find("already varies 'ni'"),
+            std::string::npos);
+  EXPECT_NE(parse_error(R"({"name": "t", "systems": [{"label": "S",
+      "topology": "sf:q=5"}], "sweeps": [{"title": "u", "loads": [0.5],
+      "grid": {"param": "c", "values": [0.25]},
+      "series": [{"routing": "ugal", "c": 1.0}]}]})")
+                .find("already varies 'c'"),
+            std::string::npos);
+  // Custom labels on a grid sweep must carry the {grid} placeholder, or the
+  // expanded series would collide.
+  EXPECT_NE(parse_error(R"({"name": "t", "systems": [{"label": "S",
+      "topology": "sf:q=5"}], "sweeps": [{"title": "u", "loads": [0.5],
+      "grid": {"param": "ni", "values": [1, 4]},
+      "series": [{"label": "ugal", "routing": "ugal"}]}]})")
+                .find("must contain '{grid}'"),
+            std::string::npos);
+  // Default label under a grid is the bare placeholder.
+  const CampaignSpec ok = parse_campaign_spec(R"({"name": "t",
+      "systems": [{"label": "S", "topology": "sf:q=5"}],
+      "sweeps": [{"title": "u", "loads": [0.5],
+      "grid": {"param": "ni", "values": [1, 4]},
+      "series": [{"routing": "ugal"}]}]})");
+  ASSERT_TRUE(ok.sweeps[0].grid.has_value());
+  EXPECT_TRUE(ok.sweeps[0].grid->is_ni);
+  EXPECT_EQ(ok.sweeps[0].series[0].label, "{grid}");
+}
+
+TEST(CampaignSpec, ValidatesPropagationKnobs) {
+  EXPECT_NE(parse_error(R"({"name": "t", "systems": [{"label": "S",
+      "topology": "sf:q=5"}], "sweeps": [{"title": "u", "loads": [0.5],
+      "series": [{"routing": "ugal_th", "detection_us": 0.5}]}]})")
+                .find("requires a sweep 'fault'"),
+            std::string::npos);
+  EXPECT_NE(parse_error(R"({"name": "t", "systems": [{"label": "S",
+      "topology": "sf:q=5"}], "sweeps": [{"title": "u", "loads": [0.5],
+      "fault": {"frac": 0.05},
+      "series": [{"routing": "ugal_th", "flood_hop_us": 0.1}]}]})")
+                .find("requires 'detection_us'"),
+            std::string::npos);
+  EXPECT_NE(parse_error(R"({"name": "t", "systems": [{"label": "S",
+      "topology": "sf:q=5"}], "sweeps": [{"title": "u", "loads": [0.5],
+      "fault": {"frac": 0.05},
+      "series": [{"routing": "ugal_th", "detection_us": 0}]}]})")
+                .find("expected a number > 0"),
+            std::string::npos);
+}
+
 // --------------------------------------------------------------- expansion
 
 const char* kMatrixSpec = R"({
@@ -335,6 +415,73 @@ TEST(CampaignExpansion, ExpandsTheMatrixInBenchOrder) {
   EXPECT_EQ(ex.rows[2].system, "B");
   EXPECT_EQ(ex.rows[0].topo, &plan.topologies[0]);
   EXPECT_EQ(ex.rows[2].topo, &plan.topologies[1]);
+}
+
+TEST(CampaignExpansion, GridExpandsSeriesMajorGridMinor) {
+  // The adaptive-panel shape (fig8): one spec series crossed with the grid
+  // values, labels resolved the benches' way ("nI=4", "c=0.25").
+  const CampaignSpec spec = parse_campaign_spec(R"({
+    "name": "g",
+    "systems": [{"label": "SF", "topology": "sf:q=5"}],
+    "sweeps": [
+      {"title": "vary nI", "loads": [0.5],
+       "grid": {"param": "ni", "values": [1, 4, 8]},
+       "series": [{"routing": "ugal_th", "c": 1.0}]},
+      {"title": "vary c", "loads": [0.5],
+       "grid": {"param": "c", "values": [0.25, 1.0, 4.0]},
+       "series": [{"routing": "ugal_th", "ni": 4}]}
+    ]
+  })");
+  const ExpandedCampaign plan = expand_campaign(spec, CampaignParams{});
+  ASSERT_EQ(plan.steps.size(), 2u);
+
+  const CampaignLoadSweep& ni = *plan.steps[0].load;
+  ASSERT_EQ(ni.series.size(), 3u);
+  EXPECT_EQ(ni.series[0].label, "nI=1");
+  EXPECT_EQ(ni.series[1].label, "nI=4");
+  EXPECT_EQ(ni.series[2].label, "nI=8");
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(ni.series[i].params.has_value()) << i;
+    EXPECT_DOUBLE_EQ(ni.series[i].params->c, 1.0) << i;
+  }
+  EXPECT_EQ(ni.series[0].params->num_indirect, 1);
+  EXPECT_EQ(ni.series[2].params->num_indirect, 8);
+
+  const CampaignLoadSweep& c = *plan.steps[1].load;
+  ASSERT_EQ(c.series.size(), 3u);
+  EXPECT_EQ(c.series[0].label, "c=0.25");
+  EXPECT_EQ(c.series[1].label, "c=1.00");
+  EXPECT_EQ(c.series[2].label, "c=4.00");
+  ASSERT_TRUE(c.series[0].params.has_value());
+  EXPECT_EQ(c.series[0].params->num_indirect, 4);
+  EXPECT_DOUBLE_EQ(c.series[0].params->c, 0.25);
+  EXPECT_DOUBLE_EQ(c.series[2].params->c, 4.0);
+}
+
+TEST(CampaignExpansion, PropagationKnobsReachTheFaultConfig) {
+  const CampaignSpec spec = parse_campaign_spec(R"({
+    "name": "p",
+    "systems": [{"label": "SF", "topology": "sf:q=5"}],
+    "sweeps": [{"title": "prop", "loads": [0.5],
+                "fault": {"frac": 0.05},
+                "series": [
+                  {"label": "oracle", "routing": "ugal_th"},
+                  {"label": "modeled", "routing": "ugal_th",
+                   "detection_us": 0.5, "flood_hop_us": 0.2}]}]
+  })");
+  CampaignParams params;
+  params.duration = us(8);
+  params.warmup = us(2);
+  const ExpandedCampaign plan = expand_campaign(spec, params);
+  const CampaignLoadSweep& ls = *plan.steps[0].load;
+  ASSERT_EQ(ls.series.size(), 2u);
+  EXPECT_FALSE(ls.series[0].fault.propagation);
+  EXPECT_TRUE(ls.series[1].fault.propagation);
+  EXPECT_EQ(ls.series[1].fault.detection_delay, us(0.5));
+  EXPECT_EQ(ls.series[1].fault.flood_process, us(0.2));
+  // Both series still share the sweep burst.
+  ASSERT_FALSE(ls.series[1].fault.schedule.empty());
+  EXPECT_EQ(ls.series[0].fault.schedule.size(), ls.series[1].fault.schedule.size());
 }
 
 TEST(CampaignExpansion, FullSelectsTheFullTopologyWhenPresent) {

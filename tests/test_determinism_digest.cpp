@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "sim/experiment.h"
+#include "sim/fault.h"
 #include "sim/sweep_runner.h"
 #include "sim/traffic.h"
 #include "topology/mlfm.h"
@@ -163,6 +164,77 @@ TEST(DeterminismDigest, ShardedFaultScheduleMatchesSerial) {
     EXPECT_EQ(serial.faults.packets_retried, sharded.faults.packets_retried);
     EXPECT_EQ(serial.faults.packets_lost, sharded.faults.packets_lost);
     EXPECT_EQ(serial.faults.reroutes, sharded.faults.reroutes);
+  }
+}
+
+TEST(DeterminismDigest, PropagationBurstMatchesAcrossShardsAndSchedulers) {
+  // The modeled control plane under a fault burst: detection timeouts and
+  // hop-by-hop floods are control events carrying (time, okey) order across
+  // lanes, so {serial, 2, 4 shards} x {heap, wheel} must realize one event
+  // stream bit for bit while routing tables are transiently inconsistent.
+  const Topology topo = build_slim_fly(5);
+  UniformTraffic uni(topo.num_nodes());
+  auto run_with = [&](int shards, SchedulerKind kind) {
+    SimConfig cfg = digest_config(kind, 11);
+    cfg.shards = shards;
+    cfg.fault.schedule = make_link_burst(topo, us(2), 4, 42, us(2));
+    cfg.fault.propagation = true;
+    cfg.fault.detection_delay = ns(600);
+    cfg.fault.recovery = FaultRecovery::kRetry;
+    SimStack stack(topo, RoutingStrategy::kUgal, cfg);
+    return stack.run_open_loop(uni, 0.5, us(7), us(1));
+  };
+  for (const SchedulerKind kind : {SchedulerKind::kHeap, SchedulerKind::kWheel}) {
+    const OpenLoopResult serial = run_with(1, kind);
+    EXPECT_GT(serial.faults.convergence.updates, 0);
+    EXPECT_GT(serial.faults.convergence.detections, 0);
+    for (const int shards : {2, 4}) {
+      const OpenLoopResult sharded = run_with(shards, kind);
+      expect_identical(serial, sharded);
+      const ConvergenceStats& a = serial.faults.convergence;
+      const ConvergenceStats& b = sharded.faults.convergence;
+      EXPECT_EQ(a.updates, b.updates);
+      EXPECT_EQ(a.detections, b.detections);
+      EXPECT_EQ(a.converged, b.converged);
+      EXPECT_EQ(a.flood_messages, b.flood_messages);
+      EXPECT_EQ(a.routers_reached, b.routers_reached);
+      EXPECT_EQ(a.misroutes, b.misroutes);
+      EXPECT_EQ(a.budget_drops, b.budget_drops);
+      EXPECT_EQ(a.consistency_time_max, b.consistency_time_max);
+      EXPECT_EQ(a.epoch_lag_max, b.epoch_lag_max);
+    }
+  }
+}
+
+TEST(DeterminismDigest, PropagationOffIsDigestIdenticalToOracleFaults) {
+  // The inertness contract for this whole subsystem: with propagation off,
+  // a faulted run must fold the exact event stream it folded before the
+  // control plane existed — same digest, same counts — for serial and
+  // sharded execution on either scheduler. The propagation-only config
+  // knobs may not leak into the oracle path.
+  const Topology topo = build_slim_fly(5);
+  UniformTraffic uni(topo.num_nodes());
+  auto run_with = [&](int shards, SchedulerKind kind, bool touch_knobs) {
+    SimConfig cfg = digest_config(kind, 11);
+    cfg.shards = shards;
+    cfg.fault.schedule = make_link_burst(topo, us(2), 3, 9, us(2));
+    cfg.fault.propagation = false;
+    if (touch_knobs) {
+      // Dormant knobs must be dead weight while propagation is off.
+      cfg.fault.detection_delay = us(2);
+      cfg.fault.flood_process = us(1);
+      cfg.fault.misroute_limit = 1;
+    }
+    SimStack stack(topo, RoutingStrategy::kUgal, cfg);
+    return stack.run_open_loop(uni, 0.5, us(7), us(1));
+  };
+  for (const SchedulerKind kind : {SchedulerKind::kHeap, SchedulerKind::kWheel}) {
+    const OpenLoopResult base = run_with(1, kind, false);
+    EXPECT_GT(base.faults.faults_applied, 0);
+    EXPECT_EQ(base.faults.convergence.updates, 0);
+    expect_identical(base, run_with(1, kind, true));
+    expect_identical(base, run_with(4, kind, false));
+    expect_identical(base, run_with(4, kind, true));
   }
 }
 

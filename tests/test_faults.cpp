@@ -10,6 +10,7 @@
 #include <set>
 #include <utility>
 
+#include "common/error.h"
 #include "routing/minimal_table.h"
 #include "sim/exchange.h"
 #include "sim/experiment.h"
@@ -60,25 +61,99 @@ TEST(Faults, EmptyScheduleIsBitIdenticalWithWatchdogOnOrOff) {
   EXPECT_EQ(ra.faults.watchdog.time, -1);
 }
 
-TEST(Faults, ScheduleThatNeverFiresIsBitIdentical) {
-  // A non-empty schedule turns the whole machinery on (epoch stamping,
-  // credit shadowing, reroute table clone); with the event past the run end
-  // nothing may change — the strongest inertness statement testable within
-  // one build.
+// ------------------------------------------------- schedule validation
+
+TEST(Faults, ScheduleAfterRunEndIsRejected) {
+  // Entries timed past the run end used to vanish silently (the kFault
+  // event was queued but never popped); now they are rejected up front with
+  // the offending entry named.
   const Topology topo = build_slim_fly(5);
   const UniformTraffic uni(topo.num_nodes());
-  SimConfig healthy = base_config();
-  SimConfig armed = base_config();
-  armed.fault.schedule.push_back(
+  SimConfig cfg = base_config();
+  cfg.fault.schedule.push_back(
       {us(1000), FaultKind::kLinkDown, topo.links()[0].r1, topo.links()[0].r2});
-  SimStack a(topo, RoutingStrategy::kUgal, healthy);
-  SimStack b(topo, RoutingStrategy::kUgal, armed);
-  const OpenLoopResult ra = a.run_open_loop(uni, 0.8, us(12), us(3));
-  const OpenLoopResult rb = b.run_open_loop(uni, 0.8, us(12), us(3));
-  expect_same_core_results(ra, rb);
-  EXPECT_TRUE(rb.faults.enabled);
-  EXPECT_EQ(rb.faults.faults_applied, 0);
-  EXPECT_EQ(rb.faults.packets_dropped, 0);
+  SimStack stack(topo, RoutingStrategy::kUgal, cfg);
+  try {
+    stack.run_open_loop(uni, 0.8, us(12), us(3));
+    FAIL() << "post-run-end schedule entry was accepted";
+  } catch (const ArgumentError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("entry #0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("after the run ends"), std::string::npos) << msg;
+  }
+}
+
+TEST(Faults, ScheduleWithBogusIdsIsRejected) {
+  const Topology topo = build_slim_fly(5);
+  const UniformTraffic uni(topo.num_nodes());
+  {
+    SimConfig cfg = base_config();
+    cfg.fault.schedule.push_back({us(4), FaultKind::kRouterDown, topo.num_routers(), -1});
+    SimStack stack(topo, RoutingStrategy::kMinimal, cfg);
+    EXPECT_THROW(stack.run_open_loop(uni, 0.5, us(12), us(3)), ArgumentError);
+  }
+  {
+    // Two valid router ids that do not share a link.
+    const Topology t = build_slim_fly(5);
+    int u = 0;
+    int v = -1;
+    for (int r = 1; r < t.num_routers() && v < 0; ++r) {
+      bool adj = false;
+      for (int n : t.neighbors(u)) adj |= n == r;
+      if (!adj) v = r;
+    }
+    ASSERT_GE(v, 0);
+    SimConfig cfg = base_config();
+    cfg.fault.schedule.push_back({us(4), FaultKind::kLinkDown, u, v});
+    SimStack stack(t, RoutingStrategy::kMinimal, cfg);
+    EXPECT_THROW(stack.run_open_loop(uni, 0.5, us(12), us(3)), ArgumentError);
+  }
+}
+
+TEST(Faults, WarmupOnlyScheduleWarnsButStillRuns) {
+  // All faults inside the warmup is legal (the warning is advisory): the
+  // run proceeds and applies them.
+  const Topology topo = build_slim_fly(5);
+  const UniformTraffic uni(topo.num_nodes());
+  SimConfig cfg = base_config();
+  const int u = topo.links()[0].r1;
+  const int v = topo.links()[0].r2;
+  cfg.fault.schedule.push_back({us(1), FaultKind::kLinkDown, u, v});
+  cfg.fault.schedule.push_back({us(2), FaultKind::kLinkUp, u, v});
+  SimStack stack(topo, RoutingStrategy::kMinimal, cfg);
+  const OpenLoopResult r = stack.run_open_loop(uni, 0.5, us(12), us(3));
+  EXPECT_EQ(r.faults.faults_applied, 2);
+  EXPECT_FALSE(r.faults.wedged);
+}
+
+TEST(Faults, RetryBackoffBelowLinkLatencyRejectedOnlyWhenSharded) {
+  // Sharded fault retries re-inject across shard boundaries; a backoff
+  // below one link latency breaks the conservative window, so the engine
+  // must say so by name instead of aborting. The same config runs fine
+  // serially.
+  const Topology topo = build_slim_fly(5);
+  const UniformTraffic uni(topo.num_nodes());
+  SimConfig cfg = base_config();
+  cfg.fault.schedule.push_back(
+      {us(4), FaultKind::kLinkDown, topo.links()[0].r1, topo.links()[0].r2});
+  cfg.fault.recovery = FaultRecovery::kRetry;
+  cfg.fault.retry_backoff = cfg.link_latency / 2;
+
+  SimConfig serial = cfg;
+  SimStack ok(topo, RoutingStrategy::kMinimal, serial);
+  EXPECT_NO_THROW(ok.run_open_loop(uni, 0.5, us(12), us(3)));
+
+  SimConfig sharded = cfg;
+  sharded.shards = 2;
+  SimStack bad(topo, RoutingStrategy::kMinimal, sharded);
+  try {
+    bad.run_open_loop(uni, 0.5, us(12), us(3));
+    FAIL() << "sharded run accepted retry_backoff < link_latency";
+  } catch (const ArgumentError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("fault.retry_backoff"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("link_latency"), std::string::npos) << msg;
+  }
 }
 
 TEST(Faults, ExchangeWithEmptyScheduleMatchesWatchdogOff) {
@@ -311,6 +386,103 @@ TEST(Faults, UpdateLinkMatchesFullRebuild) {
     }
   }
   EXPECT_EQ(incremental.unreachable_pairs(), 0);
+}
+
+// ------------------------------------------- detection & propagation
+
+TEST(Faults, PropagationDetectsFloodsAndConverges) {
+  // One cut with the modeled control plane: exactly one update, detected by
+  // both endpoints after the timeout, flooded to every live router, and
+  // declared converged once all of them know.
+  const Topology topo = build_slim_fly(5);
+  const UniformTraffic uni(topo.num_nodes());
+  SimConfig cfg = base_config();
+  cfg.fault.schedule.push_back(
+      {us(4), FaultKind::kLinkDown, topo.links()[0].r1, topo.links()[0].r2});
+  cfg.fault.propagation = true;
+  cfg.fault.detection_delay = ns(500);
+  cfg.fault.recovery = FaultRecovery::kRetry;
+  SimStack stack(topo, RoutingStrategy::kUgalThreshold, cfg);
+  const OpenLoopResult r = stack.run_open_loop(uni, 0.7, us(12), us(3));
+  const ConvergenceStats& cv = r.faults.convergence;
+  EXPECT_EQ(cv.updates, 1);
+  EXPECT_EQ(cv.detections, 2);  // both endpoints time out
+  EXPECT_EQ(cv.converged, 1);
+  EXPECT_EQ(cv.routers_reached, topo.num_routers());
+  // Detection can't be faster than the modeled timeout, and full
+  // consistency can't be faster than detection.
+  EXPECT_GE(cv.detection_latency_max, ns(500));
+  EXPECT_GE(cv.consistency_time_max, cv.detection_latency_max);
+  EXPECT_GE(cv.epoch_lag_max, cv.detection_latency_max);
+  EXPECT_GT(cv.flood_messages, 0);
+  EXPECT_FALSE(r.faults.wedged);
+  EXPECT_GT(r.accepted_throughput, 0.4);
+}
+
+TEST(Faults, PropagationDisabledLeavesConvergenceStatsZero) {
+  const Topology topo = build_slim_fly(5);
+  const UniformTraffic uni(topo.num_nodes());
+  SimConfig cfg = base_config();
+  cfg.fault.schedule.push_back(
+      {us(4), FaultKind::kLinkDown, topo.links()[0].r1, topo.links()[0].r2});
+  SimStack stack(topo, RoutingStrategy::kUgalThreshold, cfg);
+  const OpenLoopResult r = stack.run_open_loop(uni, 0.7, us(12), us(3));
+  const ConvergenceStats& cv = r.faults.convergence;
+  EXPECT_EQ(cv.updates, 0);
+  EXPECT_EQ(cv.detections, 0);
+  EXPECT_EQ(cv.flood_messages, 0);
+  EXPECT_EQ(cv.misroutes, 0);
+}
+
+TEST(Faults, PropagationSurvivesRouterOutageAndRevival) {
+  // Router dies and comes back with the control plane on. Neighbors keep
+  // feeding it until their timeouts fire (those packets die physically),
+  // then believe it dead; the revival floods a second update and the run
+  // must end un-wedged with traffic flowing again.
+  const Topology topo = build_slim_fly(5);
+  const UniformTraffic uni(topo.num_nodes());
+  SimConfig cfg = base_config();
+  cfg.fault.schedule.push_back({us(3), FaultKind::kRouterDown, 0, -1});
+  cfg.fault.schedule.push_back({us(7), FaultKind::kRouterUp, 0, -1});
+  cfg.fault.propagation = true;
+  cfg.fault.detection_delay = ns(500);
+  cfg.fault.recovery = FaultRecovery::kRetry;
+  cfg.fault.recovery_sample = us(1);
+  SimStack stack(topo, RoutingStrategy::kUgalThreshold, cfg);
+  const OpenLoopResult r = stack.run_open_loop(uni, 0.6, us(14), us(2));
+  const ConvergenceStats& cv = r.faults.convergence;
+  EXPECT_EQ(cv.updates, 2);
+  EXPECT_EQ(cv.converged, 2);
+  EXPECT_FALSE(r.faults.wedged);
+  // Delivery resumes after the revival converges.
+  const auto& buckets = r.faults.delivered_bytes_buckets;
+  ASSERT_GE(buckets.size(), 12u);
+  for (std::size_t i = 10; i < buckets.size() - 1; ++i) {
+    EXPECT_GT(buckets[i], 0) << "no delivery in bucket " << i;
+  }
+}
+
+TEST(Faults, MisrouteBudgetBoundsLocalViewDetours) {
+  // A burst of simultaneous cuts maximizes transient inconsistency; every
+  // local-view detour must respect the per-packet budget, and with a budget
+  // of zero no detour may happen at all.
+  const Topology topo = build_slim_fly(5);
+  const UniformTraffic uni(topo.num_nodes());
+  SimConfig cfg = base_config();
+  cfg.fault.schedule = make_link_burst(topo, us(4), 6, 42, us(0));
+  cfg.fault.propagation = true;
+  cfg.fault.detection_delay = us(1);
+  cfg.fault.recovery = FaultRecovery::kRetry;
+  SimStack stack(topo, RoutingStrategy::kUgalThreshold, cfg);
+  const OpenLoopResult r = stack.run_open_loop(uni, 0.7, us(14), us(3));
+  EXPECT_FALSE(r.faults.wedged);
+
+  SimConfig no_budget = cfg;
+  no_budget.fault.misroute_limit = 0;
+  SimStack stack0(topo, RoutingStrategy::kUgalThreshold, no_budget);
+  const OpenLoopResult r0 = stack0.run_open_loop(uni, 0.7, us(14), us(3));
+  EXPECT_EQ(r0.faults.convergence.misroutes, 0);
+  EXPECT_FALSE(r0.faults.wedged);
 }
 
 TEST(Faults, LinkBurstIsDeterministicDistinctAndPaired) {
