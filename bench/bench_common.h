@@ -36,6 +36,15 @@ struct BenchOptions {
   bool metrics = false;      ///< collect per-port/VC detail (see docs/observability.md)
   TimePs metrics_sample = 0; ///< occupancy sampling period with --metrics
 
+  // Engine selection (see docs/flow_engine.md). The packet engine is the
+  // default and its journal manifests / --json output are byte-identical to
+  // versions that predate the flow engine; flow-engine knobs enter the
+  // manifest only when --engine flow is selected.
+  SimEngine engine = SimEngine::kPacket;  ///< --engine packet|flow
+  std::int64_t flow_bytes = 4096;         ///< --flow-bytes: open-loop flow size
+  TimePs flow_interval = 0;               ///< --flow-interval-us: 0 = exact rates
+  int flow_active = 16;                   ///< --flow-active: concurrent flows/node
+
   // Durable execution (see docs/durable_sweeps.md):
   std::string journal_dir;     ///< --journal: crash-safe journal directory
   bool resume = false;         ///< --resume: replay completed points from it

@@ -2,6 +2,11 @@
 // with c = 2, (b) varying c with nI = 1. The paper finds the OFT prefers a
 // *constricted* indirect-path selection (low nI, high c) on uniform
 // traffic, while the worst case is largely parameter-independent.
+//
+// DEPRECATED as a hand-maintained driver: the same figure is reproducible
+// from the committed spec via `d2net_campaign --spec=campaigns/fig10.json`
+// with byte-identical --json output (verified by scripts/ci.sh stage 6; see
+// docs/campaigns.md). Kept as the identity baseline.
 #include "bench_common.h"
 
 using namespace d2net;

@@ -1,5 +1,10 @@
 // Fig. 11: MLFM-ATh — MLFM-A with a 10% minimal-routing threshold, same
 // sweeps as Fig. 9.
+//
+// DEPRECATED as a hand-maintained driver: the same figure is reproducible
+// from the committed spec via `d2net_campaign --spec=campaigns/fig11.json`
+// with byte-identical --json output (verified by scripts/ci.sh stage 6; see
+// docs/campaigns.md). Kept as the identity baseline.
 #include "bench_common.h"
 
 using namespace d2net;

@@ -1,6 +1,11 @@
 // Fig. 7: SF-A (generic UGAL-L with the original length-scaled cost) on the
 // Slim Fly with p = floor(r'/2): (a) varying nI with cSF = 1, (b) varying
 // cSF with nI = 4, under uniform and worst-case traffic.
+//
+// DEPRECATED as a hand-maintained driver: the same figure is reproducible
+// from the committed spec via `d2net_campaign --spec=campaigns/fig7.json`
+// with byte-identical --json output (verified by scripts/ci.sh stage 6; see
+// docs/campaigns.md). Kept as the identity baseline.
 #include "bench_common.h"
 
 using namespace d2net;

@@ -1,6 +1,11 @@
 // Fig. 8: SF-ATh — SF-A with a 10% minimal-routing threshold, same sweeps
 // as Fig. 7. The threshold removes the generic-UGAL latency bump on
 // uniform traffic at the price of higher low-load worst-case latency.
+//
+// DEPRECATED as a hand-maintained driver: the same figure is reproducible
+// from the committed spec via `d2net_campaign --spec=campaigns/fig8.json`
+// with byte-identical --json output (verified by scripts/ci.sh stage 6; see
+// docs/campaigns.md). Kept as the identity baseline.
 #include "bench_common.h"
 
 using namespace d2net;

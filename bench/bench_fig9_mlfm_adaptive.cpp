@@ -1,5 +1,10 @@
 // Fig. 9: MLFM-A (generic UGAL-L, constant cost penalty) on the MLFM:
 // (a) varying nI with c = 2, (b) varying c with nI = 5.
+//
+// DEPRECATED as a hand-maintained driver: the same figure is reproducible
+// from the committed spec via `d2net_campaign --spec=campaigns/fig9.json`
+// with byte-identical --json output (verified by scripts/ci.sh stage 6; see
+// docs/campaigns.md). Kept as the identity baseline.
 #include "bench_common.h"
 
 using namespace d2net;

@@ -112,6 +112,10 @@ int main(int argc, char** argv) {
 
   const std::string spec_text = read_file(spec_path);
   const CampaignSpec spec = parse_campaign_spec(spec_text, spec_path);
+  // A spec-level "engine" key pins the experiment to one engine, overriding
+  // --engine: the spec describes the experiment, the flags its scale. The
+  // flow knobs (--flow-bytes/--flow-interval-us) stay invocation-scale.
+  if (spec.engine.has_value()) opts.engine = *spec.engine;
   const CampaignParams params{opts.full, opts.seed, opts.duration, opts.warmup};
   const ExpandedCampaign plan = expand_campaign(spec, params);
 

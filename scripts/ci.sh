@@ -73,6 +73,16 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
     ./build-ci-tsan/tests/test_determinism_digest --gtest_filter='*Propagation*'
   TSAN_OPTIONS="halt_on_error=1" ./build-ci-tsan/bench/bench_ablation_transient_faults \
     --duration-us=2 --warmup-us=0.5 --seed=3 --wedge-demo=false >/dev/null
+  # Flow-engine sweep under --jobs: each point is an independent FlowSim,
+  # so a race can only come from the sweep fan-out sharing state it must
+  # not (scratch buffers, tables, the journal writer).
+  cmake --build build-ci-tsan -j "$JOBS" --target bench_fig6_oblivious
+  # Batched rate ticks: exact recompute past the knee walks a
+  # network-spanning component per event, which TSan's slowdown turns
+  # into tens of minutes; the thread structure under test is identical.
+  TSAN_OPTIONS="halt_on_error=1" ./build-ci-tsan/bench/bench_fig6_oblivious \
+    --engine=flow --flow-interval-us=0.2 --duration-us=2 --warmup-us=0.5 \
+    --seed=3 --jobs=4 >/dev/null
 fi
 
 if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
@@ -90,6 +100,13 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
     ./build-ci-asan/bench/bench_ablation_transient_faults \
     --duration-us=2 --warmup-us=0.5 --seed=3 --wedge-demo=false >/dev/null
+  # The flow engine's slot-recycled flow table and component-local
+  # waterfill are all index arithmetic over flat arrays — the same
+  # indexing-bug surface. Its test suite covers create/destroy churn,
+  # incremental recompute, and full sweeps through the bench layer.
+  cmake --build build-ci-asan -j "$JOBS" --target test_flow_engine
+  ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ./build-ci-asan/tests/test_flow_engine
 fi
 
 if [[ "${SKIP_RESUME:-0}" != "1" ]]; then
@@ -155,13 +172,51 @@ if [[ "${SKIP_PERF:-0}" != "1" ]]; then
     echo "perf smoke done (informational; refresh the baseline via" \
          "bench_micro_core --json=BENCH_core.json on a quiet machine)"
   fi
+  if [[ ! -f BENCH_flow.json ]]; then
+    echo "flow perf smoke skipped: no committed BENCH_flow.json baseline"
+  else
+    # Flow-engine smoke (docs/flow_engine.md): bench-scale scenarios only
+    # (--skip-large — the q=43 fields in the committed baseline are
+    # refreshed manually with the full run). +/-20% band, warn-only: flow
+    # scenarios are end-to-end wall timings, noisier than micro-op loops.
+    cmake --build build-ci -j "$JOBS" --target bench_micro_flow
+    ./build-ci/bench/bench_micro_flow --skip-large \
+      --json=build-ci/BENCH_flow.json >/dev/null
+    field() { sed -nE "s/.*\"$2\": ([0-9.]+).*/\1/p" "$1"; }
+    printf '%-26s %14s %14s %8s  %s\n' metric baseline current delta verdict
+    for key in flows_per_sec_exact flows_per_sec_batched \
+               accepted_exact accepted_batched; do
+      base=$(field BENCH_flow.json "$key")
+      cur=$(field build-ci/BENCH_flow.json "$key")
+      if [[ -z "$base" || -z "$cur" ]]; then
+        printf '%-26s %14s %14s %8s  %s\n' "$key" "${base:--}" "${cur:--}" - \
+          "MISSING (baseline schema drift?)"
+        continue
+      fi
+      # flows/sec regress downward; accepted throughput is deterministic
+      # for a given seed, so any drift there is a model change, not noise.
+      awk -v key="$key" -v base="$base" -v cur="$cur" 'BEGIN {
+        delta = base > 0 ? (cur - base) / base * 100 : 0
+        worse = (key ~ /^flows_per_sec/) ? -delta : (delta < 0 ? -delta : delta)
+        verdict = worse > 20 ? "REGRESSION (warn-only)" : "ok"
+        if (key ~ /^accepted/ && (delta > 0.01 || delta < -0.01))
+          verdict = "DRIFT (deterministic field moved; warn-only)"
+        printf "%-26s %14s %14s %+7.1f%%  %s\n", key, base, cur, delta, verdict
+      }'
+    done
+    echo "flow perf smoke done (informational; refresh via" \
+         "bench_micro_flow --json=BENCH_flow.json on a quiet machine)"
+  fi
 fi
 
 if [[ "${SKIP_CAMPAIGN:-0}" != "1" ]]; then
   echo "=== stage 6: declarative campaign drill (specs vs ported benches) ==="
   cmake --build build-ci -j "$JOBS" --target d2net_campaign \
     --target bench_fig6_oblivious --target bench_fig13_all_to_all \
-    --target bench_ablation_transient_faults --target bench_fig8_sf_adaptive_th
+    --target bench_ablation_transient_faults \
+    --target bench_fig7_sf_adaptive --target bench_fig8_sf_adaptive_th \
+    --target bench_fig9_mlfm_adaptive --target bench_fig10_oft_adaptive \
+    --target bench_fig11_mlfm_adaptive_th --target bench_fig12_oft_adaptive_th
   CAMPAIGN=./build-ci/bench/d2net_campaign
   WORK=build-ci/campaign-drill
   rm -rf "$WORK" && mkdir -p "$WORK"
@@ -198,13 +253,18 @@ if [[ "${SKIP_CAMPAIGN:-0}" != "1" ]]; then
     --json="$WORK/tf-spec.json" >/dev/null
   diff <(normalize "$WORK/tf-spec.json") <(normalize "$WORK/tf-bench.json")
 
-  # fig8 exercises the grid axis ("vary nI" / "vary c" adaptive panels).
-  ./build-ci/bench/bench_fig8_sf_adaptive_th "${ARGS[@]}" \
-    --json="$WORK/fig8-bench.json" >/dev/null
-  "$CAMPAIGN" --spec=campaigns/fig8.json "${ARGS[@]}" \
-    --json="$WORK/fig8-spec.json" >/dev/null
-  diff <(normalize "$WORK/fig8-spec.json") <(normalize "$WORK/fig8-bench.json")
-  echo "campaign porting contract OK: fig6/fig8/fig13/transient_faults byte-identical"
+  # The adaptive panel benches (Figs. 7-12) all exercise the grid axis
+  # ("vary nI" / "vary c" panels) over their three topologies.
+  for pair in "fig7 bench_fig7_sf_adaptive" "fig8 bench_fig8_sf_adaptive_th" \
+              "fig9 bench_fig9_mlfm_adaptive" "fig10 bench_fig10_oft_adaptive" \
+              "fig11 bench_fig11_mlfm_adaptive_th" "fig12 bench_fig12_oft_adaptive_th"; do
+    read -r fig bin <<< "$pair"
+    ./build-ci/bench/"$bin" "${ARGS[@]}" --json="$WORK/$fig-bench.json" >/dev/null
+    "$CAMPAIGN" --spec="campaigns/$fig.json" "${ARGS[@]}" \
+      --json="$WORK/$fig-spec.json" >/dev/null
+    diff <(normalize "$WORK/$fig-spec.json") <(normalize "$WORK/$fig-bench.json")
+  done
+  echo "campaign porting contract OK: fig6-fig13/transient_faults byte-identical"
 
   # Warn-only convergence smoke: detection-to-consistency times of the
   # modeled control plane vs the committed reference, +/-20% band. The

@@ -1,0 +1,63 @@
+#include "flowsim/flow_graph.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace d2net::flowsim {
+
+FlowGraph::FlowGraph(const Topology& topo) {
+  D2NET_REQUIRE(topo.finalized(), "topology must be finalized");
+  const int R = topo.num_routers();
+  num_nodes_ = topo.num_nodes();
+  router_base_.resize(static_cast<std::size_t>(R) + 1);
+  pon_base_.resize(static_cast<std::size_t>(R) + 1);
+  std::int32_t base = 0;
+  for (int r = 0; r < R; ++r) {
+    router_base_[static_cast<std::size_t>(r)] = base;
+    pon_base_[static_cast<std::size_t>(r)] = base;
+    const auto& nbrs = topo.neighbors(r);
+    const std::size_t first = port_of_neighbor_.size();
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      port_of_neighbor_.emplace_back(nbrs[i], static_cast<std::int32_t>(i));
+    }
+    std::sort(port_of_neighbor_.begin() + static_cast<std::ptrdiff_t>(first),
+              port_of_neighbor_.end());
+    for (std::size_t i = first + 1; i < port_of_neighbor_.size(); ++i) {
+      D2NET_REQUIRE(port_of_neighbor_[i].first != port_of_neighbor_[i - 1].first,
+                    "parallel links are not supported by the flow engine");
+    }
+    base += static_cast<std::int32_t>(nbrs.size());
+  }
+  router_base_[static_cast<std::size_t>(R)] = base;
+  pon_base_[static_cast<std::size_t>(R)] = base;
+  net_links_ = base;
+  total_links_ = net_links_ + 2 * num_nodes_;
+}
+
+int FlowGraph::link_between(int router, int neighbor) const {
+  const auto first = port_of_neighbor_.begin() + pon_base_[static_cast<std::size_t>(router)];
+  const auto last = port_of_neighbor_.begin() + pon_base_[static_cast<std::size_t>(router) + 1];
+  const auto it = std::lower_bound(first, last, std::make_pair(neighbor, INT32_MIN));
+  D2NET_HOT_ASSERT(it != last && it->first == neighbor, "route hop between non-adjacent routers");
+  return router_base_[static_cast<std::size_t>(router)] + it->second;
+}
+
+int FlowGraph::links_of_route(int src_node, int dst_node, const Route& route,
+                              std::int32_t* out) const {
+  int n = 0;
+  out[n++] = injection_link(src_node);
+  for (int h = 0; h + 1 < static_cast<int>(route.routers.size()); ++h) {
+    const std::int32_t l =
+        static_cast<std::int32_t>(link_between(route.routers[static_cast<std::size_t>(h)],
+                                               route.routers[static_cast<std::size_t>(h) + 1]));
+    bool dup = false;
+    for (int i = 1; i < n; ++i) dup = dup || (out[i] == l);
+    if (!dup) out[n++] = l;
+  }
+  out[n++] = ejection_link(dst_node);
+  D2NET_HOT_ASSERT(n <= kMaxLinksPerFlow, "route exceeds the per-flow link slab");
+  return n;
+}
+
+}  // namespace d2net::flowsim

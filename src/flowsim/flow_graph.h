@@ -1,0 +1,62 @@
+// Directed-link index over a Topology for the flow-level engine.
+//
+// The flow engine models every directed resource a flow can saturate as one
+// capacity-1.0 "link" (1.0 = line rate): each router-to-router channel in
+// each direction, plus one injection link per node (NIC -> router) and one
+// ejection link per node (router -> NIC). Injection/ejection links are what
+// make per-node offered load self-limiting — without them a single node
+// could source unbounded throughput across disjoint paths.
+//
+// Link ids are dense and stable: network links first (router-major, port
+// order), then the N injection links, then the N ejection links, so every
+// per-link engine array is a flat vector indexed by link id.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "routing/route.h"
+#include "topology/topology.h"
+
+namespace d2net::flowsim {
+
+/// Most directed links one flow can occupy: every hop of a maximal Route
+/// plus its injection and ejection links. This fixed stride sizes the
+/// per-flow link slabs (see waterfill.h).
+inline constexpr int kMaxLinksPerFlow = Route::kMaxHops + 2;
+
+class FlowGraph {
+ public:
+  explicit FlowGraph(const Topology& topo);
+
+  int num_links() const { return total_links_; }
+  int num_network_links() const { return net_links_; }
+  int num_nodes() const { return num_nodes_; }
+
+  /// Directed network link router -> neighbor; the routers must be adjacent.
+  int link_between(int router, int neighbor) const;
+
+  int injection_link(int node) const { return net_links_ + node; }
+  int ejection_link(int node) const { return net_links_ + num_nodes_ + node; }
+
+  /// Expands a route into the directed link ids the flow occupies:
+  /// injection link, one link per hop, ejection link. `out` must hold
+  /// kMaxLinksPerFlow entries; returns the count written. A degenerate
+  /// route that crosses the same directed link twice (possible only for
+  /// Valiant detours on tiny synthetic graphs) contributes it once.
+  int links_of_route(int src_node, int dst_node, const Route& route, std::int32_t* out) const;
+
+ private:
+  int net_links_ = 0;
+  int num_nodes_ = 0;
+  int total_links_ = 0;
+  /// First network link id of each router (prefix sum of degrees).
+  std::vector<std::int32_t> router_base_;
+  /// Per-router (neighbor, port) pairs sorted by neighbor, for binary-search
+  /// resolution of a route hop to a link id; sliced by pon_base_.
+  std::vector<std::pair<std::int32_t, std::int32_t>> port_of_neighbor_;
+  std::vector<std::int32_t> pon_base_;
+};
+
+}  // namespace d2net::flowsim

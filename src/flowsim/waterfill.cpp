@@ -1,0 +1,207 @@
+#include "flowsim/waterfill.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+
+namespace d2net::flowsim {
+
+void FlowTable::reset(int links) {
+  num_links = links;
+  active = 0;
+  rate.clear();
+  remaining.clear();
+  nlinks.clear();
+  in_use.clear();
+  slot_link.clear();
+  slot_next.clear();
+  slot_prev.clear();
+  link_head.assign(static_cast<std::size_t>(links), -1);
+  link_nflows.assign(static_cast<std::size_t>(links), 0);
+  free_list.clear();
+}
+
+int FlowTable::create(const std::int32_t* links, int n, double bytes) {
+  D2NET_HOT_ASSERT(n >= 1 && n <= kMaxLinksPerFlow, "flow link count out of range");
+  int f;
+  if (!free_list.empty()) {
+    f = free_list.back();
+    free_list.pop_back();
+  } else {
+    f = static_cast<int>(rate.size());
+    rate.push_back(0.0);
+    remaining.push_back(0.0);
+    nlinks.push_back(0);
+    in_use.push_back(0);
+    slot_link.resize(slot_link.size() + kMaxLinksPerFlow, -1);
+    slot_next.resize(slot_next.size() + kMaxLinksPerFlow, -1);
+    slot_prev.resize(slot_prev.size() + kMaxLinksPerFlow, -1);
+  }
+  rate[static_cast<std::size_t>(f)] = 0.0;
+  remaining[static_cast<std::size_t>(f)] = bytes;
+  nlinks[static_cast<std::size_t>(f)] = static_cast<std::int16_t>(n);
+  in_use[static_cast<std::size_t>(f)] = 1;
+  ++active;
+  const int base = f * kMaxLinksPerFlow;
+  for (int i = 0; i < n; ++i) {
+    const std::int32_t l = links[i];
+    const int s = base + i;
+    slot_link[static_cast<std::size_t>(s)] = l;
+    slot_prev[static_cast<std::size_t>(s)] = -1;
+    const std::int32_t head = link_head[static_cast<std::size_t>(l)];
+    slot_next[static_cast<std::size_t>(s)] = head;
+    if (head >= 0) slot_prev[static_cast<std::size_t>(head)] = s;
+    link_head[static_cast<std::size_t>(l)] = s;
+    ++link_nflows[static_cast<std::size_t>(l)];
+  }
+  return f;
+}
+
+void FlowTable::destroy(int flow) {
+  D2NET_HOT_ASSERT(in_use[static_cast<std::size_t>(flow)], "destroying a dead flow");
+  const int base = flow * kMaxLinksPerFlow;
+  for (int i = 0; i < nlinks[static_cast<std::size_t>(flow)]; ++i) {
+    const int s = base + i;
+    const std::int32_t l = slot_link[static_cast<std::size_t>(s)];
+    const std::int32_t prev = slot_prev[static_cast<std::size_t>(s)];
+    const std::int32_t next = slot_next[static_cast<std::size_t>(s)];
+    if (prev >= 0) {
+      slot_next[static_cast<std::size_t>(prev)] = next;
+    } else {
+      link_head[static_cast<std::size_t>(l)] = next;
+    }
+    if (next >= 0) slot_prev[static_cast<std::size_t>(next)] = prev;
+    --link_nflows[static_cast<std::size_t>(l)];
+  }
+  in_use[static_cast<std::size_t>(flow)] = 0;
+  nlinks[static_cast<std::size_t>(flow)] = 0;
+  rate[static_cast<std::size_t>(flow)] = 0.0;
+  free_list.push_back(flow);
+  --active;
+}
+
+void WaterfillScratch::ensure(int num_links, int flow_capacity) {
+  if (static_cast<int>(link_mark.size()) < num_links) {
+    link_mark.resize(static_cast<std::size_t>(num_links), 0);
+    rem_cap.resize(static_cast<std::size_t>(num_links), 0.0);
+    unfrozen.resize(static_cast<std::size_t>(num_links), 0);
+  }
+  if (static_cast<int>(flow_mark.size()) < flow_capacity) {
+    flow_mark.resize(static_cast<std::size_t>(flow_capacity), 0);
+    flow_frozen.resize(static_cast<std::size_t>(flow_capacity), 0);
+  }
+  if (epoch == std::numeric_limits<std::uint32_t>::max()) {
+    std::fill(link_mark.begin(), link_mark.end(), 0);
+    std::fill(flow_mark.begin(), flow_mark.end(), 0);
+    std::fill(flow_frozen.begin(), flow_frozen.end(), 0);
+    epoch = 0;
+  }
+}
+
+namespace {
+// Min-heap on (fill ratio, link id): the pair's lexicographic order makes
+// the link id a deterministic tie-break.
+struct HeapCmp {
+  bool operator()(const std::pair<double, std::int32_t>& a,
+                  const std::pair<double, std::int32_t>& b) const {
+    return a > b;
+  }
+};
+}  // namespace
+
+void waterfill_from(FlowTable& t, const std::int32_t* seeds, int nseeds,
+                    WaterfillScratch& ws, RateChangeSink& sink) {
+  ws.ensure(t.num_links, t.capacity());
+  const std::uint32_t epoch = ++ws.epoch;
+  ws.links.clear();
+  ws.flows.clear();
+  ws.heap.clear();
+
+  // Collect the component(s): alternate link -> member flows -> their links.
+  // Only links that currently carry flows join (an empty seed contributes
+  // nothing); every link of a marked flow carries at least that flow.
+  for (int i = 0; i < nseeds; ++i) {
+    const std::int32_t l = seeds[i];
+    if (ws.link_mark[static_cast<std::size_t>(l)] == epoch) continue;
+    ws.link_mark[static_cast<std::size_t>(l)] = epoch;
+    if (t.link_nflows[static_cast<std::size_t>(l)] > 0) ws.links.push_back(l);
+  }
+  for (std::size_t qi = 0; qi < ws.links.size(); ++qi) {
+    const std::int32_t l = ws.links[qi];
+    for (std::int32_t s = t.link_head[static_cast<std::size_t>(l)]; s >= 0;
+         s = t.slot_next[static_cast<std::size_t>(s)]) {
+      const int f = s / kMaxLinksPerFlow;
+      if (ws.flow_mark[static_cast<std::size_t>(f)] == epoch) continue;
+      ws.flow_mark[static_cast<std::size_t>(f)] = epoch;
+      ws.flows.push_back(f);
+      const int base = f * kMaxLinksPerFlow;
+      for (int j = 0; j < t.nlinks[static_cast<std::size_t>(f)]; ++j) {
+        const std::int32_t m = t.slot_link[static_cast<std::size_t>(base + j)];
+        if (ws.link_mark[static_cast<std::size_t>(m)] == epoch) continue;
+        ws.link_mark[static_cast<std::size_t>(m)] = epoch;
+        ws.links.push_back(m);
+      }
+    }
+  }
+  if (ws.flows.empty()) return;
+
+  const HeapCmp cmp;
+  for (std::int32_t l : ws.links) {
+    ws.rem_cap[static_cast<std::size_t>(l)] = 1.0;
+    ws.unfrozen[static_cast<std::size_t>(l)] = t.link_nflows[static_cast<std::size_t>(l)];
+    ws.heap.emplace_back(1.0 / t.link_nflows[static_cast<std::size_t>(l)], l);
+  }
+  std::make_heap(ws.heap.begin(), ws.heap.end(), cmp);
+
+  // Progressive filling: repeatedly freeze the flows of the link with the
+  // smallest remaining fair share. Heap entries are lazy — every state
+  // update pushes a fresh entry, so a popped entry whose ratio no longer
+  // matches the link's current state is a stale duplicate to skip.
+  std::size_t unfrozen_flows = ws.flows.size();
+  while (unfrozen_flows > 0) {
+    D2NET_ASSERT(!ws.heap.empty(), "waterfill heap drained with unfrozen flows");
+    std::pop_heap(ws.heap.begin(), ws.heap.end(), cmp);
+    const double ratio = ws.heap.back().first;
+    const std::int32_t l = ws.heap.back().second;
+    ws.heap.pop_back();
+    if (ws.unfrozen[static_cast<std::size_t>(l)] <= 0) continue;
+    const double cur = std::max(ws.rem_cap[static_cast<std::size_t>(l)], 0.0) /
+                       ws.unfrozen[static_cast<std::size_t>(l)];
+    if (cur != ratio) continue;
+
+    const double fair = cur;
+    for (std::int32_t s = t.link_head[static_cast<std::size_t>(l)]; s >= 0;
+         s = t.slot_next[static_cast<std::size_t>(s)]) {
+      const int f = s / kMaxLinksPerFlow;
+      if (ws.flow_frozen[static_cast<std::size_t>(f)] == epoch) continue;
+      ws.flow_frozen[static_cast<std::size_t>(f)] = epoch;
+      --unfrozen_flows;
+      // The sink accrues at the old rate and writes the new one back; it
+      // must not create or destroy flows mid-pass.
+      if (t.rate[static_cast<std::size_t>(f)] != fair) sink.on_rate_change(f, fair);
+      const int base = f * kMaxLinksPerFlow;
+      for (int j = 0; j < t.nlinks[static_cast<std::size_t>(f)]; ++j) {
+        const std::int32_t m = t.slot_link[static_cast<std::size_t>(base + j)];
+        ws.rem_cap[static_cast<std::size_t>(m)] -= fair;
+        if (--ws.unfrozen[static_cast<std::size_t>(m)] > 0) {
+          ws.heap.emplace_back(std::max(ws.rem_cap[static_cast<std::size_t>(m)], 0.0) /
+                                   ws.unfrozen[static_cast<std::size_t>(m)],
+                               m);
+          std::push_heap(ws.heap.begin(), ws.heap.end(), cmp);
+        }
+      }
+    }
+  }
+}
+
+void waterfill_all(FlowTable& t, WaterfillScratch& ws, RateChangeSink& sink) {
+  std::vector<std::int32_t> seeds;
+  seeds.reserve(static_cast<std::size_t>(t.num_links));
+  for (int l = 0; l < t.num_links; ++l) {
+    if (t.link_nflows[static_cast<std::size_t>(l)] > 0) seeds.push_back(l);
+  }
+  waterfill_from(t, seeds.data(), static_cast<int>(seeds.size()), ws, sink);
+}
+
+}  // namespace d2net::flowsim

@@ -1,0 +1,106 @@
+// Max-min-fair rate assignment by progressive water-filling.
+//
+// FlowTable is the engine's flow/link incidence structure: a fixed-stride
+// slab of link slots per flow (flow -> links) threaded through intrusive
+// doubly-linked membership lists (link -> flows). Every operation the hot
+// path needs — create, destroy, iterate a link's flows — is O(1) or O(flow
+// links), with no per-event allocation after warm-up.
+//
+// waterfill_from() recomputes exact max-min rates for the connected
+// component(s) of the flow-link sharing graph reachable from a set of seed
+// links. Components are independent under max-min fairness (no flow or
+// capacity is shared across them), so a component-local recompute after a
+// flow arrival or departure reproduces the global fixed point while
+// touching only the affected flows — the incremental path the engine runs
+// after every event in exact mode and per dirty component in batched mode
+// (see docs/flow_engine.md).
+//
+// Determinism: the bottleneck selection heap orders by (fill ratio, link
+// id) with exact double comparison, and membership lists are walked in
+// their deterministic insertion order, so recomputing the same component
+// always freezes flows in the same order and reproduces bit-identical
+// rates.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "flowsim/flow_graph.h"
+
+namespace d2net::flowsim {
+
+/// Flow/link incidence plus per-flow rate and remaining-byte state. All
+/// members are engine-internal; FlowSim and the waterfill functions are the
+/// only clients.
+struct FlowTable {
+  int num_links = 0;
+  int active = 0;
+
+  // Per flow id.
+  std::vector<double> rate;       ///< current max-min rate (1.0 = line rate)
+  std::vector<double> remaining;  ///< bytes left to deliver
+  std::vector<std::int16_t> nlinks;
+  std::vector<std::uint8_t> in_use;
+
+  // Per flow-link slot (flow * kMaxLinksPerFlow + i, i < nlinks[flow]).
+  std::vector<std::int32_t> slot_link;
+  std::vector<std::int32_t> slot_next;  ///< next slot on the link's list, -1 = end
+  std::vector<std::int32_t> slot_prev;  ///< previous slot, -1 = list head
+
+  // Per link id.
+  std::vector<std::int32_t> link_head;    ///< first member slot, -1 = empty
+  std::vector<std::int32_t> link_nflows;  ///< flows currently crossing the link
+
+  std::vector<std::int32_t> free_list;
+
+  /// Clears all flows and sizes the per-link arrays.
+  void reset(int links);
+
+  /// Registers a flow over `n` distinct links with `bytes` to deliver and
+  /// rate 0; returns its id (slab slots are recycled via the free list).
+  int create(const std::int32_t* links, int n, double bytes);
+
+  /// Unlinks the flow from all membership lists and recycles its id.
+  void destroy(int flow);
+
+  /// Flow id upper bound (for sizing parallel per-flow arrays).
+  int capacity() const { return static_cast<int>(rate.size()); }
+};
+
+/// Receives every rate change a waterfill pass decides. The sink is called
+/// with the *new* rate while FlowTable still holds the old one, and is
+/// responsible for writing the new rate back (after accruing delivered
+/// bytes at the old rate — see FlowSim::on_rate_change). Flows whose
+/// recomputed rate is bit-identical to the current one are not reported.
+class RateChangeSink {
+ public:
+  virtual ~RateChangeSink() = default;
+  virtual void on_rate_change(int flow, double new_rate) = 0;
+};
+
+/// Epoch-stamped scratch reused across waterfill passes; never shrinks.
+struct WaterfillScratch {
+  std::vector<std::uint32_t> link_mark;
+  std::vector<std::uint32_t> flow_mark;    ///< component membership
+  std::vector<std::uint32_t> flow_frozen;  ///< frozen during the current pass
+  std::uint32_t epoch = 0;
+  std::vector<double> rem_cap;
+  std::vector<std::int32_t> unfrozen;
+  std::vector<std::int32_t> links;  ///< collected component links
+  std::vector<std::int32_t> flows;  ///< collected component flows
+  std::vector<std::pair<double, std::int32_t>> heap;
+
+  void ensure(int num_links, int flow_capacity);
+};
+
+/// Exact progressive water-filling over the component(s) reachable from
+/// `seeds` (deduplicated internally; links without flows are fine). Every
+/// rate change is reported through `sink`.
+void waterfill_from(FlowTable& table, const std::int32_t* seeds, int nseeds,
+                    WaterfillScratch& ws, RateChangeSink& sink);
+
+/// Full recompute over every active flow (seed = all non-empty links).
+void waterfill_all(FlowTable& table, WaterfillScratch& ws, RateChangeSink& sink);
+
+}  // namespace d2net::flowsim

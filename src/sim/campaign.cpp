@@ -405,11 +405,18 @@ CampaignSpec parse_campaign_spec(std::string_view text, const std::string& where
   const JsonValue doc = parse_json(text, where);
   const Parse p{where};
   if (!doc.is_object()) p.fail("$", "campaign spec must be a JSON object");
-  p.check_keys(doc, "$", {"name", "systems", "sweeps"});
+  p.check_keys(doc, "$", {"name", "engine", "systems", "sweeps"});
 
   CampaignSpec out;
   out.name = p.req(doc, "$", "name", JsonValue::Kind::kString).str;
   if (out.name.empty()) p.fail("$.name", "name must be non-empty");
+
+  if (const JsonValue* e = p.opt(doc, "$", "engine", JsonValue::Kind::kString)) {
+    out.engine = p.parse_enum<SimEngine>("$.engine", e->str,
+                                         {{"packet", SimEngine::kPacket},
+                                          {"flow", SimEngine::kFlow}},
+                                         "engine");
+  }
 
   const JsonValue& systems = p.req(doc, "$", "systems", JsonValue::Kind::kArray);
   if (systems.array.empty()) p.fail("$.systems", "campaign needs at least one system");
@@ -445,6 +452,19 @@ CampaignSpec parse_campaign_spec(std::string_view text, const std::string& where
       p.fail(path + ".title", "duplicate sweep title '" + sw.title + "'");
     }
     out.sweeps.push_back(std::move(sw));
+  }
+
+  // Engine/feature compatibility is a parse error, not a mid-campaign
+  // surprise: a committed flow-engine spec must never reach simulation with
+  // a packet-only feature it would then throw on hours in.
+  if (out.engine == SimEngine::kFlow) {
+    for (std::size_t i = 0; i < out.sweeps.size(); ++i) {
+      if (out.sweeps[i].fault.has_value()) {
+        p.fail("$.sweeps[" + std::to_string(i) + "].fault",
+               "the flow engine does not support fault injection; drop the "
+               "fault schedule or set engine = packet");
+      }
+    }
   }
   return out;
 }

@@ -142,6 +142,13 @@ struct CampaignSweep {
 
 struct CampaignSpec {
   std::string name;  ///< report/bench name (BenchReport "bench" field)
+  /// Optional top-level "engine" key ("packet" | "flow"): pins the campaign
+  /// to one simulation engine. When set it overrides the driver's --engine
+  /// flag — the spec describes the experiment, the flags describe the
+  /// invocation scale. Specs selecting "flow" are validated against
+  /// packet-only features at parse time (fault schedules fail with a
+  /// path-qualified error); absent = the driver's flag (default packet).
+  std::optional<SimEngine> engine;
   std::vector<CampaignSystem> systems;
   std::vector<CampaignSweep> sweeps;
 };

@@ -23,7 +23,43 @@ struct MetricsConfig {
   TimePs sample_period = us(1);
 };
 
+/// Which simulation backend executes a run (see docs/flow_engine.md).
+enum class SimEngine {
+  kPacket,  ///< per-packet event simulation (sim/network.h) — the default
+  kFlow,    ///< flow-level max-min-fair rate model (flowsim/flow_sim.h)
+};
+
+/// Flow-engine knobs; ignored by the packet engine.
+struct FlowSimConfig {
+  /// Open-loop flow size in bytes (exchange runs use the plan's message
+  /// sizes instead). 4 KiB = 16 packet-engine packets per flow, 327.68 ns
+  /// of serialization at 100 Gb/s — small enough that bench-scale windows
+  /// (16-50 us) see dozens of completed flows per node, large enough that
+  /// one flow event still stands in for many packet events.
+  std::int64_t flow_bytes = 4096;
+  /// Concurrent flows one node may source; further arrivals queue at the
+  /// NIC. Must be large enough that a node can keep its injection link
+  /// busy while individual flows are throttled by shared links downstream
+  /// (1 would serialize the NIC and cap accepted throughput at the mean
+  /// per-flow rate — far below the packet engine's saturation point); 16
+  /// recovers the packet engine's saturation knee on the paper systems
+  /// while bounding per-node state at overload.
+  int max_active_per_node = 16;
+  /// Rate recompute discipline: 0 re-waterfills the affected component
+  /// after every flow event (exact max-min at all times); > 0 batches
+  /// recomputes into periodic ticks of this simulated-time interval —
+  /// the amortization needed at 10^5+ endpoints where one arrival touches
+  /// a network-spanning bottleneck component.
+  TimePs rate_interval = 0;
+};
+
 struct SimConfig {
+  /// Simulation backend. Everything below ps_per_byte..seed applies to
+  /// both engines; fault/metrics/shards/scheduler knobs are packet-only
+  /// (the flow engine rejects them up front — see flowsim/flow_sim.h).
+  SimEngine engine = SimEngine::kPacket;
+  FlowSimConfig flow;
+
   /// Serialization cost; 80 ps/B == 100 Gb/s.
   std::int64_t ps_per_byte = ps_per_byte_at_gbps(100.0);
   TimePs link_latency = ns(50);

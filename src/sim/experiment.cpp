@@ -29,32 +29,56 @@ const MinimalTable& checked_table(const std::shared_ptr<const MinimalTable>& tab
 SimStack::SimStack(const Topology& topo, std::shared_ptr<const MinimalTable> table,
                    RoutingStrategy strategy, const SimConfig& cfg,
                    std::optional<UgalParams> params, SharedIntermediates intermediates)
-    : topo_(topo),
-      table_(std::move(table)),
-      sim_(topo, cfg, num_vcs_needed(topo, checked_table(table_, topo), strategy)) {
-  const MinimalTable* routing_table = table_.get();
-  if (cfg.fault.enabled() && cfg.fault.reroute) {
-    // Fault-aware rerouting mutates the table mid-run; give this stack a
-    // private copy so the shared healthy table stays immutable.
-    fault_table_ = std::make_unique<MinimalTable>(*table_);
-    sim_.set_fault_table(fault_table_.get());
-    routing_table = fault_table_.get();
-  }
+    : topo_(topo), table_(std::move(table)), cfg_engine_(cfg.engine) {
+  const MinimalTable* routing_table = &checked_table(table_, topo);
   const UgalParams p = params.has_value()
                            ? *params
                            : default_ugal_params(topo.kind(),
                                                  strategy == RoutingStrategy::kUgalThreshold);
-  algo_ = make_routing(topo_, *routing_table, strategy, sim_, p, std::move(intermediates));
-  sim_.set_routing(*algo_);
+  if (cfg_engine_ == SimEngine::kFlow) {
+    // Only the selected engine is constructed: the packet engine's VOQ and
+    // credit arrays are prohibitive exactly at the scales the flow engine
+    // exists for. FlowSim's constructor rejects packet-only config
+    // (faults, metrics, shards) with a descriptive ArgumentError.
+    flow_ = std::make_unique<flowsim::FlowSim>(topo, cfg);
+    algo_ = make_routing(topo_, *routing_table, strategy, *flow_, p, std::move(intermediates));
+    flow_->set_routing(*algo_);
+    return;
+  }
+  packet_ = std::make_unique<NetworkSim>(
+      topo, cfg, num_vcs_needed(topo, *table_, strategy));
+  if (cfg.fault.enabled() && cfg.fault.reroute) {
+    // Fault-aware rerouting mutates the table mid-run; give this stack a
+    // private copy so the shared healthy table stays immutable.
+    fault_table_ = std::make_unique<MinimalTable>(*table_);
+    packet_->set_fault_table(fault_table_.get());
+    routing_table = fault_table_.get();
+  }
+  algo_ = make_routing(topo_, *routing_table, strategy, *packet_, p, std::move(intermediates));
+  packet_->set_routing(*algo_);
+}
+
+NetworkSim& SimStack::sim() {
+  D2NET_REQUIRE(packet_ != nullptr,
+                "SimStack::sim() is packet-engine only (this stack runs engine=flow)");
+  return *packet_;
 }
 
 OpenLoopResult SimStack::run_open_loop(const TrafficPattern& pattern, double load,
                                        TimePs duration, TimePs warmup) {
-  return sim_.run_open_loop(pattern, load, duration, warmup);
+  if (flow_) return flow_->run_open_loop(pattern, load, duration, warmup);
+  return packet_->run_open_loop(pattern, load, duration, warmup);
 }
 
 ExchangeResult SimStack::run_exchange(const ExchangePlan& plan, TimePs time_limit) {
-  return sim_.run_exchange(plan, time_limit);
+  if (flow_) return flow_->run_exchange(plan, time_limit);
+  return packet_->run_exchange(plan, time_limit);
+}
+
+ExchangeResult SimStack::run_fluid_all_to_all(std::int64_t bytes_per_pair) {
+  D2NET_REQUIRE(flow_ != nullptr,
+                "run_fluid_all_to_all needs the flow engine (engine=flow)");
+  return flow_->run_fluid_all_to_all(*table_, bytes_per_pair);
 }
 
 std::vector<SweepPoint> run_load_sweep(SimStack& stack, const TrafficPattern& pattern,

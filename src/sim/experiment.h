@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "flowsim/flow_sim.h"
 #include "routing/factory.h"
 #include "routing/minimal_table.h"
 #include "sim/exchange.h"
@@ -24,6 +25,13 @@ int num_vcs_needed(const Topology& topo, const MinimalTable& table, RoutingStrat
 
 /// Owns the full simulation stack for one (topology, routing) combination.
 /// The adaptive algorithms read the simulator's live queue state.
+///
+/// SimConfig::engine picks the backend: the per-packet event simulator
+/// (kPacket, the default) or the flow-level max-min-fair rate engine
+/// (kFlow; see docs/flow_engine.md). Only the selected engine is
+/// constructed — a flow run at 10^5+ endpoints must never pay for the
+/// packet engine's per-port VOQ arrays (gigabytes at that scale) — and
+/// both engines see the identical topology/table/routing/traffic inputs.
 class SimStack {
  public:
   SimStack(const Topology& topo, RoutingStrategy strategy, const SimConfig& cfg,
@@ -43,15 +51,27 @@ class SimStack {
                                TimePs warmup);
   ExchangeResult run_exchange(const ExchangePlan& plan, TimePs time_limit);
 
+  /// Closed-form fluid all-to-all completion at scales where the per-pair
+  /// ExchangePlan cannot be materialized; flow engine only (see
+  /// flowsim::FlowSim::run_fluid_all_to_all).
+  ExchangeResult run_fluid_all_to_all(std::int64_t bytes_per_pair);
+
   const Topology& topology() const { return topo_; }
   const MinimalTable& table() const { return *table_; }
   const RoutingAlgorithm& routing() const { return *algo_; }
-  NetworkSim& sim() { return sim_; }
+  /// The packet engine instance; rejects flow-engine stacks (callers that
+  /// poke packet internals — tracing, channel stats, shard counts — have
+  /// no flow-level counterpart to fall back on).
+  NetworkSim& sim();
+  /// Engine selected by the config this stack was built with.
+  SimEngine engine() const { return cfg_engine_; }
 
  private:
   const Topology& topo_;
   std::shared_ptr<const MinimalTable> table_;
-  NetworkSim sim_;
+  SimEngine cfg_engine_;
+  std::unique_ptr<NetworkSim> packet_;
+  std::unique_ptr<flowsim::FlowSim> flow_;
   std::unique_ptr<RoutingAlgorithm> algo_;
   /// Private mutable table copy for fault-aware rerouting: allocated only
   /// when the config schedules faults with reroute on, so concurrent sweep
